@@ -1,0 +1,28 @@
+// Shared helpers for the experiment binaries.  The paper has no numbered
+// tables or figures (pure theory); each bench reconstructs one theorem's
+// quantitative content as a table, prints the proved shape next to the
+// measurement, and emits a one-line verdict that EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace mmd::bench {
+
+inline void header(const char* id, const char* claim) {
+  std::printf("\n=====================================================\n");
+  std::printf("%s — %s\n", id, claim);
+  std::printf("=====================================================\n");
+}
+
+inline void verdict(bool ok, const std::string& text) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-DEVIATION", text.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace mmd::bench

@@ -1,0 +1,107 @@
+// E10 — design-choice ablations (DESIGN.md section 6).
+//
+// Quantifies each engineering decision on a fixed instance pair:
+//   * init: paper pipeline vs bisection warm start vs best-of,
+//   * splitter: composite vs grid-only vs prefix-only (on a grid),
+//   * refinement pass on/off,
+//   * FM refinement inside the prefix splitter on/off,
+//   * Lemma 9 heavy threshold (paper's 3*avg + 2^r*max vs tighter 2*avg),
+//   * fast multilevel mode vs full pipeline (quality and speed).
+// Every row must remain strictly balanced; the table shows what each knob
+// buys in max boundary and wall time.
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/decompose.hpp"
+#include "core/fast.hpp"
+#include "gen/grid.hpp"
+#include "gen/weights.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace mmd;
+  bench::header("E10", "ablations: what each design choice buys");
+
+  CostParams cp;
+  cp.model = CostModel::LogUniform;
+  cp.lo = 1.0;
+  cp.hi = 50.0;
+  const Graph g = make_grid_cube(2, 64, cp);
+  WeightParams wp;
+  wp.model = WeightModel::Uniform;
+  wp.lo = 1.0;
+  wp.hi = 8.0;
+  const auto w = make_weights(g.num_vertices(), wp);
+  const int k = 16;
+
+  Table table("E10 grid2d 64x64 phi=50, k=16",
+              {"variant", "max_boundary", "avg_boundary", "strict", "time s"});
+  bool all_strict = true;
+  double base_boundary = 0.0;
+
+  const auto run = [&](const std::string& name, const DecomposeOptions& opt) {
+    Timer t;
+    const DecomposeResult res = decompose(g, w, opt);
+    all_strict = all_strict && res.balance.strictly_balanced;
+    table.add_row({name, Table::num(res.max_boundary, 1),
+                   Table::num(res.avg_boundary, 1),
+                   res.balance.strictly_balanced ? "yes" : "NO",
+                   Table::num(t.seconds(), 3)});
+    return res.max_boundary;
+  };
+
+  DecomposeOptions base;
+  base.k = k;
+  base_boundary = run("default (paper init, composite, refine)", base);
+
+  DecomposeOptions bisect = base;
+  bisect.init = InitMethod::Bisection;
+  run("bisection warm start", bisect);
+
+  DecomposeOptions best = base;
+  best.init = InitMethod::Best;
+  const double best_boundary = run("best-of both inits", best);
+
+  DecomposeOptions no_refine = base;
+  no_refine.use_refinement = false;
+  run("no min-max refinement", no_refine);
+
+  DecomposeOptions no_psi = base;
+  no_psi.balance_boundary = false;
+  run("no Psi balancing (Lemma 6 only)", no_psi);
+
+  DecomposeOptions grid_only = base;
+  grid_only.splitter = SplitterKind::Grid;
+  run("grid splitter only", grid_only);
+
+  DecomposeOptions prefix_only = base;
+  prefix_only.splitter = SplitterKind::Prefix;
+  run("prefix splitter only", prefix_only);
+
+  DecomposeOptions tight_heavy = base;
+  tight_heavy.rebalance.heavy_avg_factor = 2.0;
+  run("Lemma 9 heavy threshold 2*avg", tight_heavy);
+
+  DecomposeOptions no_2r = base;
+  no_2r.rebalance.paper_max_factor = false;
+  run("Lemma 9 max factor 1 (not 2^r)", no_2r);
+
+  {
+    Timer t;
+    FastOptions fopt;
+    fopt.inner.k = k;
+    fopt.coarse_target = 512;
+    const FastResult res = decompose_fast(g, w, fopt);
+    all_strict = all_strict && res.balance.strictly_balanced;
+    table.add_row({"fast multilevel mode", Table::num(res.max_boundary, 1),
+                   Table::num(res.avg_boundary, 1),
+                   res.balance.strictly_balanced ? "yes" : "NO",
+                   Table::num(t.seconds(), 3)});
+  }
+  table.print();
+
+  bench::verdict(all_strict, "every variant stays strictly balanced");
+  bench::verdict(best_boundary <= base_boundary + 1e-9,
+                 "best-of init dominates the paper-only default");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// E1 — Theorem 4 / Theorem 5 upper bound.
+//
+// Claim: for well-behaved graphs with a p-separator theorem,
+//   min-max boundary k-decomposition cost = O_p(||c||_p / k^{1/p} + ||c||_inf).
+// Reproduction: run the full pipeline over growing k on three grid
+// families, report the measured maximum boundary cost next to the bound
+// skeleton B'(k) = sigma_p (q k^{-1/p} ||c||_p + Delta_c), and fit the
+// decay exponent of the measured cost over the k-range where the first
+// term dominates.  Expected shape: ratio measured/B' bounded by a small
+// constant across k, and fitted exponent close to -1/p.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/decompose.hpp"
+#include "gen/grid.hpp"
+#include "gen/weights.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+struct Family {
+  std::string name;
+  mmd::Graph graph;
+  std::vector<double> weights;
+  double p;
+};
+
+std::vector<Family> families() {
+  using namespace mmd;
+  std::vector<Family> out;
+  {
+    Family f;
+    f.name = "grid2d-unit";
+    f.graph = make_grid_cube(2, 48);
+    f.weights.assign(static_cast<std::size_t>(f.graph.num_vertices()), 1.0);
+    f.p = 2.0;
+    out.push_back(std::move(f));
+  }
+  {
+    Family f;
+    f.name = "grid2d-phi100";
+    CostParams cp;
+    cp.model = CostModel::LogUniform;
+    cp.lo = 1.0;
+    cp.hi = 100.0;
+    f.graph = make_grid_cube(2, 48, cp);
+    WeightParams wp;
+    wp.model = WeightModel::Uniform;
+    wp.lo = 1.0;
+    wp.hi = 6.0;
+    f.weights = make_weights(f.graph.num_vertices(), wp);
+    f.p = 2.0;
+    out.push_back(std::move(f));
+  }
+  {
+    Family f;
+    f.name = "grid3d-unit";
+    f.graph = make_grid_cube(3, 13);
+    f.weights.assign(static_cast<std::size_t>(f.graph.num_vertices()), 1.0);
+    f.p = 1.5;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mmd;
+  bench::header("E1", "Theorem 4/5: max boundary = O(||c||_p / k^{1/p} + ||c||_inf)");
+
+  bool all_ok = true;
+  for (const auto& fam : families()) {
+    Table table("E1 " + fam.name + " (n=" + std::to_string(fam.graph.num_vertices()) + ")",
+                {"k", "max_boundary", "avg_boundary", "bound_B'", "ratio", "strict"});
+    std::vector<double> ks, costs;
+    double worst_ratio = 0.0;
+    for (int k : geometric_range(2, 128, 2)) {
+      DecomposeOptions opt;
+      opt.k = k;
+      opt.p = fam.p;
+      const DecomposeResult res = decompose(fam.graph, fam.weights, opt);
+      const double ratio = res.max_boundary / res.bound.b_max;
+      worst_ratio = std::max(worst_ratio, ratio);
+      table.add_row({Table::num(k), Table::num(res.max_boundary, 1),
+                     Table::num(res.avg_boundary, 1),
+                     Table::num(res.bound.b_max, 1), Table::num(ratio, 3),
+                     res.balance.strictly_balanced ? "yes" : "NO"});
+      // Fit the decay exponent on the *average* boundary cost (Lemma 6's
+      // bound is exactly sigma_p q k^{-1/p} ||c||_p, no Delta_c floor and
+      // far less noisy than the max), over the regime where that term
+      // dominates.
+      if (res.bound.b_avg > 2.0 * res.sigma_p * res.bound.delta_c) {
+        ks.push_back(k);
+        costs.push_back(res.avg_boundary);
+      }
+    }
+    table.print();
+
+    std::string fit_text = "too few points in the k^{-1/p} regime to fit";
+    bool fit_ok = true;
+    if (ks.size() >= 3) {
+      const PowerFit fit = fit_power(ks, costs);
+      const double expect = -1.0 / fam.p;
+      fit_ok = std::abs(fit.exponent - expect) < 0.25;
+      fit_text = "fitted decay k^" + Table::num(fit.exponent, 3) +
+                 " vs theory k^" + Table::num(expect, 3) +
+                 " (r2=" + Table::num(fit.r2, 3) + ")";
+    }
+    const bool ratio_ok = worst_ratio < 6.0;
+    all_ok = all_ok && ratio_ok && fit_ok;
+    bench::verdict(ratio_ok && fit_ok,
+                   fam.name + ": worst measured/bound ratio " +
+                       Table::num(worst_ratio, 2) + "; " + fit_text);
+  }
+  bench::verdict(all_ok, "E1 overall");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E6 — Theorem 4 running time: O(t(|G|) log k) for linear-time splitters.
+//
+// Reproduction with google-benchmark:
+//   * decompose over growing n at fixed k  -> near-linear complexity fit;
+//   * decompose over growing k at fixed n  -> sub-linear (log-like) growth;
+//   * the splitter primitive itself        -> the t(n) baseline.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "gen/grid.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "util/norms.hpp"
+
+namespace {
+
+using namespace mmd;
+
+void BM_DecomposeVsN(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Graph g = make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  DecomposeOptions opt;
+  opt.k = 16;
+  for (auto _ : state) {
+    const DecomposeResult res = decompose(g, w, opt);
+    benchmark::DoNotOptimize(res.max_boundary);
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_DecomposeVsN)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecomposeVsK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Graph g = make_grid_cube(2, 96);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  DecomposeOptions opt;
+  opt.k = k;
+  for (auto _ : state) {
+    const DecomposeResult res = decompose(g, w, opt);
+    benchmark::DoNotOptimize(res.max_boundary);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_DecomposeVsK)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity()  // fitted; expect far below linear in k
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SplitterPrimitive(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Graph g = make_grid_cube(2, side);
+  std::vector<Vertex> vs(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) vs[static_cast<std::size_t>(v)] = v;
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  PrefixSplitter splitter;
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = norm1(w) / 2.0;
+  for (auto _ : state) {
+    const SplitResult res = splitter.split(req);
+    benchmark::DoNotOptimize(res.boundary_cost);
+  }
+  state.SetComplexityN(g.num_vertices());
+}
+BENCHMARK(BM_SplitterPrimitive)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Scalability study: how the achievable min-max boundary cost falls as the
+// machine count k grows (Theorem 5: ~ ||c||_p / k^{1/p} + ||c||_inf), and
+// what that predicts for the parallel efficiency of the climate workload.
+//
+//   run: ./build/examples/scalability [side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/decompose.hpp"
+#include "gen/grid.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const int side = argc > 1 ? std::atoi(argv[1]) : 48;
+  const mmd::Graph g = mmd::make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+
+  mmd::Table table("scaling on the " + std::to_string(side) + "^2 grid",
+                   {"k", "compute/class", "max boundary", "boundary/compute",
+                    "time ms"});
+  std::vector<double> ks, bounds;
+  for (int k : mmd::geometric_range(2, 256, 2)) {
+    mmd::DecomposeOptions opt;
+    opt.k = k;
+    const mmd::DecomposeResult res = mmd::decompose(g, w, opt);
+    const double compute = res.balance.avg;
+    table.add_row({mmd::Table::num(k), mmd::Table::num(compute, 1),
+                   mmd::Table::num(res.max_boundary, 1),
+                   mmd::Table::num(res.max_boundary / compute, 3),
+                   mmd::Table::num(res.total_seconds * 1e3, 1)});
+    ks.push_back(k);
+    bounds.push_back(res.max_boundary);
+  }
+  table.print();
+
+  const mmd::PowerFit fit = mmd::fit_power(ks, bounds);
+  std::printf("\nmeasured decay: boundary ~ k^%.3f (theory k^{-1/2} until the "
+              "||c||_inf floor)\n", fit.exponent);
+  std::printf("communication/compute crosses 1 near k ~ n^{1/2}; beyond that "
+              "the partition is communication-bound.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "baselines/greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/prng.hpp"
+
+namespace mmd {
+
+Coloring greedy_coloring(const Graph& g, std::span<const double> w, int k,
+                         GreedyOrder order, std::uint64_t seed) {
+  MMD_REQUIRE(k >= 1, "k must be >= 1");
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+              "weight arity mismatch");
+  std::vector<Vertex> vs(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) vs[static_cast<std::size_t>(v)] = v;
+
+  switch (order) {
+    case GreedyOrder::HeaviestFirst:
+      std::stable_sort(vs.begin(), vs.end(), [&](Vertex a, Vertex b) {
+        return w[static_cast<std::size_t>(a)] > w[static_cast<std::size_t>(b)];
+      });
+      break;
+    case GreedyOrder::Random: {
+      Rng rng(seed);
+      for (std::size_t i = vs.size(); i > 1; --i)
+        std::swap(vs[i - 1], vs[rng.next_below(i)]);
+      break;
+    }
+    case GreedyOrder::VertexId:
+      break;
+  }
+
+  // Min-heap of (class weight, class id).
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int i = 0; i < k; ++i) heap.emplace(0.0, i);
+
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v : vs) {
+    auto [cw, i] = heap.top();
+    heap.pop();
+    chi[v] = i;
+    heap.emplace(cw + w[static_cast<std::size_t>(v)], i);
+  }
+  return chi;
+}
+
+}  // namespace mmd

@@ -1,0 +1,31 @@
+// Greedy bin-packing baseline (paper, "Strict weight-balancedness"):
+// assign vertices one by one to the currently lightest class.
+//
+// This achieves exactly the strict balance guarantee of Definition 1 —
+// greedy-to-lightest satisfies
+//   max class <= avg + (1 - 1/k) ||w||_inf   and
+//   min class >= avg - (1 - 1/k) ||w||_inf
+// (when a class last received an item it was the lightest at that moment,
+// so max <= min + ||w||_inf; combine with the totals identity
+// sum = k * avg) — but, as the paper stresses, "such a greedy algorithm
+// will in general create huge boundary costs": it ignores the graph
+// entirely.  That blowup is exactly what bench E5 measures.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+enum class GreedyOrder {
+  HeaviestFirst,  ///< LPT: sort by weight descending (best balance)
+  VertexId,       ///< natural order (locality by accident at best)
+  Random,         ///< shuffled (worst boundary, seed below)
+};
+
+Coloring greedy_coloring(const Graph& g, std::span<const double> w, int k,
+                         GreedyOrder order = GreedyOrder::HeaviestFirst,
+                         std::uint64_t seed = 29);
+
+}  // namespace mmd

@@ -1,0 +1,28 @@
+// Kiwi–Spielman–Teng-style min-max domain decomposition [4].
+//
+// Their approach: recursive bisection where every separator divides the
+// vertices evenly with respect to *both* the weights and the (dynamic)
+// boundary-cost function — i.e. Lemma 8 with two measures at each level of
+// a balanced bisection tree.  It yields parts of weight at most
+// (1 + eps) n/k with a maximum boundary cost that grows by a factor
+// (1/eps)^{1-1/p} as eps shrinks — the trade-off the paper's Theorem 4
+// eliminates.  Bench E7 sweeps eps to expose the contrast.
+#pragma once
+
+#include "core/multi_split.hpp"
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+struct KstOptions {
+  /// Weight-balance tolerance: classes aim at (1 + eps) * avg weight.
+  double eps = 1.0;
+};
+
+/// k must be a power of two (KST's recursive bisection assumption; pad the
+/// instance otherwise).  Returns a total coloring whose classes have
+/// weight <= (1 + O(eps)) * ||w||_1 / k for bounded-degree inputs.
+Coloring kst_decomposition(const Graph& g, std::span<const double> w, int k,
+                           ISplitter& splitter, const KstOptions& options = {});
+
+}  // namespace mmd

@@ -1,0 +1,152 @@
+#include "baselines/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/coarsen.hpp"
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace mmd {
+
+namespace {
+
+/// Greedy growth initial partition on the coarsest graph: grow k regions
+/// from random seeds, then assign leftovers to the lightest region.
+Coloring initial_partition(const Graph& g, std::span<const double> w, int k,
+                           Rng& rng) {
+  const Vertex n = g.num_vertices();
+  Coloring chi(k, n);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const double quota = total / k;
+
+  std::vector<double> cw(static_cast<std::size_t>(k), 0.0);
+  std::vector<Vertex> frontier;
+  for (int i = 0; i < k; ++i) {
+    // Pick an uncolored seed.
+    Vertex seed = -1;
+    for (int tries = 0; tries < 64 && seed < 0; ++tries) {
+      const auto cand = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (chi[cand] == kUncolored) seed = cand;
+    }
+    if (seed < 0)
+      for (Vertex v = 0; v < n && seed < 0; ++v)
+        if (chi[v] == kUncolored) seed = v;
+    if (seed < 0) break;
+    // BFS growth until the quota is filled.
+    frontier.assign(1, seed);
+    chi[seed] = i;
+    cw[static_cast<std::size_t>(i)] += w[static_cast<std::size_t>(seed)];
+    std::size_t head = 0;
+    while (head < frontier.size() && cw[static_cast<std::size_t>(i)] < quota) {
+      const Vertex v = frontier[head++];
+      for (Vertex u : g.neighbors(v)) {
+        if (chi[u] != kUncolored) continue;
+        if (cw[static_cast<std::size_t>(i)] >= quota) break;
+        chi[u] = i;
+        cw[static_cast<std::size_t>(i)] += w[static_cast<std::size_t>(u)];
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (chi[v] != kUncolored) continue;
+    const int best = static_cast<int>(std::min_element(cw.begin(), cw.end()) -
+                                      cw.begin());
+    chi[v] = best;
+    cw[static_cast<std::size_t>(best)] += w[static_cast<std::size_t>(v)];
+  }
+  return chi;
+}
+
+/// Greedy boundary refinement on the edge-cut objective under an
+/// imbalance cap.
+void refine(const Graph& g, std::span<const double> w, Coloring& chi,
+            double imbalance, int passes) {
+  const int k = chi.k;
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const double cap = (1.0 + imbalance) * total / k;
+  std::vector<double> cw = class_measure(w, chi);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const int from = chi[v];
+      // Gain of moving v to each adjacent class.
+      const auto nbrs = g.neighbors(v);
+      const auto eids = g.incident_edges(v);
+      double to_own = 0.0;
+      std::vector<std::pair<int, double>> to_other;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const int c = chi[nbrs[i]];
+        const double cost = g.edge_cost(eids[i]);
+        if (c == from) {
+          to_own += cost;
+          continue;
+        }
+        bool found = false;
+        for (auto& [cc, sum] : to_other)
+          if (cc == c) {
+            sum += cost;
+            found = true;
+          }
+        if (!found) to_other.emplace_back(c, cost);
+      }
+      for (const auto& [cand, sum] : to_other) {
+        const double gain = sum - to_own;
+        const double wv = w[static_cast<std::size_t>(v)];
+        if (gain > 1e-15 &&
+            cw[static_cast<std::size_t>(cand)] + wv <= cap) {
+          cw[static_cast<std::size_t>(from)] -= wv;
+          cw[static_cast<std::size_t>(cand)] += wv;
+          chi[v] = cand;
+          moved = true;
+          break;
+        }
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+Coloring partition_level(const Graph& g, std::span<const double> w, int k,
+                         const MultilevelOptions& options, Rng& rng,
+                         int depth) {
+  if (g.num_vertices() <= std::max(options.coarsest_size * k, 2 * k) ||
+      depth > 48) {
+    Coloring chi = initial_partition(g, w, k, rng);
+    refine(g, w, chi, options.imbalance, options.refine_passes);
+    return chi;
+  }
+  CoarseLevel coarse = coarsen_heavy_edge(g, w, rng());
+  if (coarse.graph.num_vertices() >= g.num_vertices()) {  // no progress
+    Coloring chi = initial_partition(g, w, k, rng);
+    refine(g, w, chi, options.imbalance, options.refine_passes);
+    return chi;
+  }
+  const Coloring coarse_chi =
+      partition_level(coarse.graph, coarse.weights, k, options, rng, depth + 1);
+  // Project and refine.
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    chi[v] = coarse_chi[coarse.parent[static_cast<std::size_t>(v)]];
+  refine(g, w, chi, options.imbalance, options.refine_passes);
+  return chi;
+}
+
+}  // namespace
+
+Coloring multilevel_partition(const Graph& g, std::span<const double> w, int k,
+                              const MultilevelOptions& options) {
+  MMD_REQUIRE(k >= 1, "k must be >= 1");
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+              "weight arity mismatch");
+  if (g.num_vertices() == 0) return Coloring(k, 0);
+  Rng rng(options.seed);
+  Coloring chi = partition_level(g, w, k, options, rng, 0);
+  validate_coloring(g, chi, /*require_total=*/true);
+  return chi;
+}
+
+}  // namespace mmd

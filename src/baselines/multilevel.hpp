@@ -1,0 +1,28 @@
+// Simplified multilevel edge-cut partitioner (METIS-style baseline).
+//
+// The standard practice the paper's problem setting departs from: minimize
+// the *total* edge cut subject to loose balance, via heavy-edge-matching
+// coarsening, recursive-bisection initial partitioning on the coarsest
+// graph, and greedy KL/FM refinement during uncoarsening.  It optimizes a
+// different objective (sum, not max, of boundary costs; loose balance), so
+// E5 uses it to show where edge-cut partitioners fall short on the
+// min-max metric.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+struct MultilevelOptions {
+  int coarsest_size = 64;       ///< stop coarsening below k * this many nodes
+  double imbalance = 0.05;      ///< allowed relative class overweight
+  int refine_passes = 4;
+  std::uint64_t seed = 31;
+};
+
+Coloring multilevel_partition(const Graph& g, std::span<const double> w, int k,
+                              const MultilevelOptions& options = {});
+
+}  // namespace mmd

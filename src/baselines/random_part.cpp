@@ -1,0 +1,16 @@
+#include "baselines/random_part.hpp"
+
+#include "util/prng.hpp"
+
+namespace mmd {
+
+Coloring random_coloring(const Graph& g, int k, std::uint64_t seed) {
+  MMD_REQUIRE(k >= 1, "k must be >= 1");
+  Rng rng(seed);
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    chi[v] = static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(k)));
+  return chi;
+}
+
+}  // namespace mmd

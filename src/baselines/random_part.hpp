@@ -1,0 +1,14 @@
+// Random assignment baseline: each vertex gets an independent uniform
+// color.  The sanity floor for every experiment — any method must beat it
+// on boundary cost, and it is (whp) only weakly balanced.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+Coloring random_coloring(const Graph& g, int k, std::uint64_t seed = 37);
+
+}  // namespace mmd

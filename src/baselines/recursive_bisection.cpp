@@ -1,0 +1,12 @@
+#include "baselines/recursive_bisection.hpp"
+
+#include "core/bisection.hpp"
+
+namespace mmd {
+
+Coloring recursive_bisection(const Graph& g, std::span<const double> w, int k,
+                             ISplitter& splitter) {
+  return recursive_bisection_coloring(g, w, k, splitter);
+}
+
+}  // namespace mmd

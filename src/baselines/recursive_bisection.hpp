@@ -1,0 +1,18 @@
+// Recursive bisection baseline (Simon & Teng [8], "How good is recursive
+// bisection?").  Splits the vertex set by weight-proportional splitting
+// sets into k parts.  Bounds the *total* (hence average) boundary cost but
+// makes no attempt to balance per-class boundary costs — the contrast the
+// paper draws in the related-work discussion, quantified by benches E5/E8.
+#pragma once
+
+#include "graph/coloring.hpp"
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+/// Partition into k classes with weight of each class about k_i/k of the
+/// total (k_i the subtree leaf counts).  Returns a total coloring.
+Coloring recursive_bisection(const Graph& g, std::span<const double> w, int k,
+                             ISplitter& splitter);
+
+}  // namespace mmd

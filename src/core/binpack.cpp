@@ -1,0 +1,250 @@
+#include "core/binpack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+
+namespace {
+
+struct Classes {
+  std::vector<std::vector<Vertex>> members;
+  std::vector<double> weight;
+
+  Classes(const Coloring& chi, std::span<const double> w)
+      : members(color_classes(chi)), weight(static_cast<std::size_t>(chi.k), 0.0) {
+    for (std::size_t i = 0; i < members.size(); ++i)
+      weight[i] = set_measure(w, members[i]);
+  }
+
+  Coloring to_coloring(int k, Vertex n) const {
+    Coloring out(k, n);
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (Vertex v : members[i]) out[v] = static_cast<std::int32_t>(i);
+    return out;
+  }
+};
+
+/// Cut a part of weight in about [lo, hi] off class `cls` (modifies it).
+/// Uses a single heavy vertex when one suffices (Claim 4), otherwise a
+/// splitting set with target (lo+hi)/2.  Falls back to the whole class
+/// when it is lighter than `lo`.
+std::vector<Vertex> peel_part(const Graph& g, std::vector<Vertex>& cls,
+                              std::vector<double>& cls_weight, std::size_t idx,
+                              std::span<const double> w, double lo, double hi,
+                              ISplitter& splitter, double* cut_cost) {
+  std::vector<Vertex> part;
+  // Single heavy vertex?  Any vertex of weight >= lo qualifies: vertex
+  // weights never exceed the global ||w||_inf, which every caller's upper
+  // part bound accommodates, and singleton parts cost at most Delta_c.
+  Vertex heavy = -1;
+  for (Vertex v : cls) {
+    const double wv = w[static_cast<std::size_t>(v)];
+    if (wv >= lo) {
+      if (heavy < 0 || wv < w[static_cast<std::size_t>(heavy)]) heavy = v;
+      if (wv <= hi) break;  // already inside the window; done
+    }
+  }
+  if (heavy >= 0) {
+    part.push_back(heavy);
+    std::erase(cls, heavy);
+    cls_weight[idx] -= w[static_cast<std::size_t>(heavy)];
+    return part;
+  }
+  if (cls_weight[idx] <= hi) {  // whole class fits
+    part = std::move(cls);
+    cls.clear();
+    cls_weight[idx] = 0.0;
+    return part;
+  }
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = cls;
+  req.weights = w;
+  req.target = (lo + hi) / 2.0;
+  SplitResult res = splitter.split(req);
+  if (cut_cost) *cut_cost += res.boundary_cost;
+  if (res.inside.empty()) {  // all-zero weights etc.: take one vertex
+    res.inside.push_back(cls.front());
+    res.weight = w[static_cast<std::size_t>(cls.front())];
+  }
+  Membership in_part(g.num_vertices());
+  in_part.assign(res.inside);
+  cls = set_difference(cls, in_part);
+  cls_weight[idx] -= res.weight;
+  return std::move(res.inside);
+}
+
+}  // namespace
+
+Coloring binpack1(const Graph& g, const Coloring& chi0, std::span<const double> w,
+                  std::span<const double> w1, double wmax, ISplitter& splitter,
+                  double* cut_cost) {
+  const int k = chi0.k;
+  MMD_REQUIRE(static_cast<int>(w1.size()) == k, "w1 arity mismatch");
+  Classes cls(chi0, w);
+
+  const double total =
+      std::accumulate(cls.weight.begin(), cls.weight.end(), 0.0) + norm1(w1);
+  const double w_star = total / k;
+  const double slack = 1e-9 * std::max(1.0, total);
+
+  auto sum_i = [&](int i) {
+    return cls.weight[static_cast<std::size_t>(i)] + w1[static_cast<std::size_t>(i)];
+  };
+
+  // Step (2): peel [wmax, 2*wmax] parts off overfull classes.
+  std::vector<std::vector<Vertex>> buffer;
+  for (int i = 0; i < k; ++i) {
+    int guard = 0;
+    while (sum_i(i) > w_star + slack &&
+           cls.weight[static_cast<std::size_t>(i)] > 0.0) {
+      MMD_REQUIRE(++guard < static_cast<int>(chi0.color.size()) + 16,
+                  "binpack1 step 2 diverged");
+      buffer.push_back(peel_part(g, cls.members[static_cast<std::size_t>(i)],
+                                 cls.weight, static_cast<std::size_t>(i), w,
+                                 wmax, 2.0 * wmax, splitter, cut_cost));
+    }
+  }
+
+  // Step (3): refill classes below w* - 2*wmax.
+  for (int i = 0; i < k; ++i) {
+    while (sum_i(i) < w_star - 2.0 * wmax - slack && !buffer.empty()) {
+      auto part = std::move(buffer.back());
+      buffer.pop_back();
+      cls.weight[static_cast<std::size_t>(i)] += set_measure(w, part);
+      auto& m = cls.members[static_cast<std::size_t>(i)];
+      m.insert(m.end(), part.begin(), part.end());
+    }
+  }
+
+  // Step (4): drain leftovers onto minimum-sum classes.
+  while (!buffer.empty()) {
+    int best = 0;
+    for (int i = 1; i < k; ++i)
+      if (sum_i(i) < sum_i(best)) best = i;
+    auto part = std::move(buffer.back());
+    buffer.pop_back();
+    cls.weight[static_cast<std::size_t>(best)] += set_measure(w, part);
+    auto& m = cls.members[static_cast<std::size_t>(best)];
+    m.insert(m.end(), part.begin(), part.end());
+  }
+
+  return cls.to_coloring(k, g.num_vertices());
+}
+
+Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w,
+                  ISplitter& splitter, double* cut_cost) {
+  validate_coloring(g, chi, /*require_total=*/true);
+  const int k = chi.k;
+  const double wmax = norm_inf(w);
+  const double total = norm1(w);
+  const double w_star = total / k;
+  if (wmax == 0.0 || k == 1) return chi;
+  if (w_star < wmax / 2.0)  // degenerate regime: precondition of Prop 12 fails
+    return strict_by_chunking(g, chi, w, splitter, cut_cost);
+
+  Classes cls(chi, w);
+  const double slack = 1e-9 * std::max(1.0, total);
+
+  // Step (2): peel [wmax/2, wmax] parts off classes above w*.
+  std::vector<std::vector<Vertex>> buffer;
+  for (int i = 0; i < k; ++i) {
+    int guard = 0;
+    while (cls.weight[static_cast<std::size_t>(i)] > w_star + slack) {
+      MMD_REQUIRE(++guard < static_cast<int>(chi.color.size()) + 16,
+                  "binpack2 step 2 diverged");
+      buffer.push_back(peel_part(g, cls.members[static_cast<std::size_t>(i)],
+                                 cls.weight, static_cast<std::size_t>(i), w,
+                                 wmax / 2.0, wmax, splitter, cut_cost));
+    }
+  }
+
+  // Step (3): refill classes below w* - (1-1/k) wmax.
+  const double low = w_star - (1.0 - 1.0 / k) * wmax;
+  for (int i = 0; i < k; ++i) {
+    while (cls.weight[static_cast<std::size_t>(i)] < low - slack) {
+      MMD_ASSERT(!buffer.empty(), "binpack2: buffer exhausted prematurely");
+      if (buffer.empty()) break;
+      auto part = std::move(buffer.back());
+      buffer.pop_back();
+      cls.weight[static_cast<std::size_t>(i)] += set_measure(w, part);
+      auto& m = cls.members[static_cast<std::size_t>(i)];
+      m.insert(m.end(), part.begin(), part.end());
+    }
+  }
+
+  // Step (4): leftovers to classes with weight <= w* - w(X)/k.
+  while (!buffer.empty()) {
+    auto part = std::move(buffer.back());
+    buffer.pop_back();
+    const double pw = set_measure(w, part);
+    int best = 0;
+    for (int i = 1; i < k; ++i)
+      if (cls.weight[static_cast<std::size_t>(i)] <
+          cls.weight[static_cast<std::size_t>(best)])
+        best = i;
+    MMD_ASSERT(cls.weight[static_cast<std::size_t>(best)] <=
+                   w_star - pw / k + wmax + slack,
+               "binpack2 step 4: no feasible class");
+    cls.weight[static_cast<std::size_t>(best)] += pw;
+    auto& m = cls.members[static_cast<std::size_t>(best)];
+    m.insert(m.end(), part.begin(), part.end());
+  }
+
+  return cls.to_coloring(k, g.num_vertices());
+}
+
+Coloring strict_by_chunking(const Graph& g, const Coloring& chi,
+                            std::span<const double> w, ISplitter& splitter,
+                            double* cut_cost) {
+  validate_coloring(g, chi, /*require_total=*/true);
+  const int k = chi.k;
+  const double wmax = norm_inf(w);
+  Classes cls(chi, w);
+
+  // Chop every class into parts of weight <= wmax (zero-weight tails ride
+  // along with the last part of their class).
+  struct Part {
+    std::vector<Vertex> verts;
+    double weight;
+  };
+  std::vector<Part> parts;
+  for (int i = 0; i < k; ++i) {
+    auto& m = cls.members[static_cast<std::size_t>(i)];
+    int guard = 0;
+    while (!m.empty()) {
+      MMD_REQUIRE(++guard < static_cast<int>(chi.color.size()) + 16,
+                  "chunking diverged");
+      if (cls.weight[static_cast<std::size_t>(i)] <= wmax || wmax == 0.0) {
+        parts.push_back({std::move(m), cls.weight[static_cast<std::size_t>(i)]});
+        m.clear();
+        cls.weight[static_cast<std::size_t>(i)] = 0.0;
+        break;
+      }
+      auto part = peel_part(g, m, cls.weight, static_cast<std::size_t>(i), w,
+                            wmax / 4.0, 3.0 * wmax / 4.0, splitter, cut_cost);
+      const double pw = set_measure(w, part);
+      parts.push_back({std::move(part), pw});
+    }
+  }
+
+  // LPT greedy-to-lightest.
+  std::sort(parts.begin(), parts.end(),
+            [](const Part& a, const Part& b) { return a.weight > b.weight; });
+  std::vector<double> bin(static_cast<std::size_t>(k), 0.0);
+  Coloring out(k, g.num_vertices());
+  for (auto& part : parts) {
+    const int best = static_cast<int>(std::min_element(bin.begin(), bin.end()) -
+                                      bin.begin());
+    bin[static_cast<std::size_t>(best)] += part.weight;
+    for (Vertex v : part.verts) out[v] = best;
+  }
+  return out;
+}
+
+}  // namespace mmd

@@ -1,0 +1,49 @@
+// The two bin-packing procedures of Appendix A.2 plus a provably strict
+// fallback.
+//
+// binpack1 (Lemma 15, the conquer phase): given a coloring chi0 of W0 and
+// fixed per-color weights w1 (the classes of the recursively strictified
+// chi1 on W1), repaint chi0 so the direct sum is almost strictly balanced:
+// |w(class_i) + w1_i - w*| <= 2 ||w||_inf.  Every class is touched O(1)
+// times, so boundary and splitting costs grow by a constant factor only.
+//
+// binpack2 (Proposition 12): almost strictly balanced -> strictly
+// balanced (Definition 1): peel parts of weight in [||w||_inf/2, ||w||_inf]
+// (single heavy vertices or splitting sets, Claim 4) off overfull classes
+// and repack greedily.
+//
+// strict_by_chunking: the degenerate-regime fallback (used when the
+// average class weight is below ||w||_inf/2, where binpack2's precondition
+// fails): chop every class into parts of weight <= ||w||_inf and run
+// greedy-to-lightest (LPT).  Greedy-to-lightest with items <= ||w||_inf is
+// *provably* strictly balanced:
+//   max <= avg + (1-1/k) max_item and min >= avg - (1-1/k) max_item
+// (when a class last received an item it was the lightest, so
+// max <= min + max_item; combine with the totals identity).
+#pragma once
+
+#include "graph/coloring.hpp"
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+/// Lemma 15.  `chi0` colors exactly W0 (uncolored elsewhere); `w1[i]` is
+/// the fixed weight color i already carries on the (disjoint) W1 side;
+/// `wmax` is ||w||_inf over W0 + W1.  Returns the repainted chi0 (still
+/// coloring exactly W0).
+Coloring binpack1(const Graph& g, const Coloring& chi0, std::span<const double> w,
+                  std::span<const double> w1, double wmax, ISplitter& splitter,
+                  double* cut_cost = nullptr);
+
+/// Proposition 12.  `chi` must be a total coloring; result is strictly
+/// balanced.  Falls back to strict_by_chunking in the degenerate regime
+/// ||w||_1/k < ||w||_inf/2.
+Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w,
+                  ISplitter& splitter, double* cut_cost = nullptr);
+
+/// Provably strict fallback / ablation baseline (see file comment).
+Coloring strict_by_chunking(const Graph& g, const Coloring& chi,
+                            std::span<const double> w, ISplitter& splitter,
+                            double* cut_cost = nullptr);
+
+}  // namespace mmd

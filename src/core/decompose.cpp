@@ -1,0 +1,207 @@
+#include "core/decompose.hpp"
+
+#include <cmath>
+
+#include "core/binpack.hpp"
+#include "core/bisection.hpp"
+#include "separators/composite.hpp"
+#include "separators/grid_split.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "separators/splittability.hpp"
+#include "util/norms.hpp"
+#include "util/timer.hpp"
+
+namespace mmd {
+
+std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
+                                                 SplitterKind kind) {
+  switch (kind) {
+    case SplitterKind::Prefix:
+      return std::make_unique<PrefixSplitter>();
+    case SplitterKind::Grid:
+      return std::make_unique<GridSplitter>();
+    case SplitterKind::Auto:
+      break;
+  }
+  if (g.has_coords() && g.is_grid_graph()) {
+    // Keep Theorem 19's guarantee *and* the sweeps' practical quality.
+    std::vector<std::unique_ptr<ISplitter>> children;
+    children.push_back(std::make_unique<GridSplitter>());
+    children.push_back(std::make_unique<PrefixSplitter>());
+    return std::make_unique<CompositeSplitter>(std::move(children));
+  }
+  return std::make_unique<PrefixSplitter>();
+}
+
+double default_sigma_p(const Graph& g, double p) {
+  if (g.has_coords() && g.is_grid_graph()) {
+    const auto costs = g.edge_costs();
+    double lo = 0.0, hi = 0.0;
+    for (double c : costs) {
+      if (c <= 0.0) continue;
+      lo = lo == 0.0 ? c : std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    const double phi = (lo > 0.0) ? hi / lo : 1.0;
+    return grid_splittability_bound(g.dim(), phi);
+  }
+  (void)p;
+  return 2.0;
+}
+
+namespace {
+
+PhaseReport report_phase(const Graph& g, std::span<const double> w,
+                         const Coloring& chi, double seconds) {
+  PhaseReport rep;
+  rep.seconds = seconds;
+  const auto bc = class_boundary_costs(g, chi);
+  rep.max_boundary = norm_inf(bc);
+  rep.avg_boundary = chi.k > 0 ? norm1(bc) / chi.k : 0.0;
+  rep.max_weight_dev = balance_report(w, chi).max_dev;
+  return rep;
+}
+
+}  // namespace
+
+DecomposeResult decompose(const Graph& g, std::span<const double> w,
+                          const DecomposeOptions& options, ISplitter& splitter) {
+  MMD_REQUIRE(options.k >= 1, "k must be >= 1");
+  MMD_REQUIRE(options.p > 1.0, "p must exceed 1");
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+              "weight arity mismatch");
+
+  if (options.init == InitMethod::Best) {
+    DecomposeOptions paper = options;
+    paper.init = InitMethod::Paper;
+    DecomposeOptions bisect = options;
+    bisect.init = InitMethod::Bisection;
+    DecomposeResult a = decompose(g, w, paper, splitter);
+    DecomposeResult b = decompose(g, w, bisect, splitter);
+    // Both are strictly balanced (or throw); keep the cheaper boundary.
+    return a.max_boundary <= b.max_boundary ? a : b;
+  }
+
+  DecomposeResult out;
+  Timer total_timer;
+
+  out.sigma_p = options.sigma_p > 0.0 ? options.sigma_p
+                                      : default_sigma_p(g, options.p);
+  out.bound = theorem4_bound(g, options.p, out.sigma_p, options.k);
+
+  const std::vector<double> pi =
+      splitting_cost_measure(g, options.p, out.sigma_p);
+
+  // Phase 1: Proposition 7 (or plain Lemma 6 when the Psi pass is ablated,
+  // or a Simon–Teng warm start when requested).
+  Timer phase_timer;
+  Coloring chi;
+  if (options.init == InitMethod::Bisection) {
+    chi = recursive_bisection_coloring(g, w, options.k, splitter);
+  } else {
+    const std::vector<MeasureRef> user{MeasureRef(w)};
+    if (options.balance_boundary) {
+      chi = minmax_balance(g, options.k, pi, user, splitter, options.rebalance);
+    } else {
+      std::vector<MeasureRef> ms{MeasureRef(pi), MeasureRef(w)};
+      chi = multibalance(g, options.k, ms, splitter, options.rebalance);
+    }
+  }
+  out.phase_multibalance = report_phase(g, w, chi, phase_timer.seconds());
+
+  // Phase 2: Proposition 11.  Its whole purpose is to reach *almost*
+  // strict balance; when phase 1 already delivers that (common for the
+  // bisection warm start, occasional for benign instances), skipping the
+  // shrink-and-conquer recursion is both valid and cheaper.
+  phase_timer.reset();
+  if (options.use_strictify && options.k > 1 &&
+      !balance_report(w, chi).almost_strictly_balanced) {
+    chi = strictify_almost(g, chi, w, pi, splitter, options.strictify);
+  }
+  out.phase_strictify = report_phase(g, w, chi, phase_timer.seconds());
+
+  // Phase 3: Proposition 12.
+  phase_timer.reset();
+  if (options.use_binpack2 && options.k > 1) {
+    chi = binpack2(g, chi, w, splitter);
+  }
+  out.phase_binpack = report_phase(g, w, chi, phase_timer.seconds());
+
+  // Phase 4 (extension): min-max hill climbing.  Only applied once the
+  // coloring is strictly balanced, so the Definition 1 window it must
+  // preserve is the one the caller asked for.
+  phase_timer.reset();
+  if (options.use_refinement && options.use_binpack2 && options.k > 1) {
+    out.refine_stats = minmax_refine(g, chi, w, options.refine);
+  }
+  out.phase_refine = report_phase(g, w, chi, phase_timer.seconds());
+
+  out.coloring = std::move(chi);
+  out.balance = balance_report(w, out.coloring);
+  const auto bc = class_boundary_costs(g, out.coloring);
+  out.max_boundary = norm_inf(bc);
+  out.avg_boundary = norm1(bc) / options.k;
+  out.total_seconds = total_timer.seconds();
+  return out;
+}
+
+DecomposeResult decompose(const Graph& g, std::span<const double> w,
+                          const DecomposeOptions& options) {
+  const auto splitter = make_default_splitter(g, options.splitter);
+  return decompose(g, w, options, *splitter);
+}
+
+MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
+                                     std::span<const MeasureRef> extra_measures,
+                                     const DecomposeOptions& options,
+                                     ISplitter& splitter) {
+  MMD_REQUIRE(options.k >= 1, "k must be >= 1");
+  MMD_REQUIRE(options.p > 1.0, "p must exceed 1");
+  MMD_REQUIRE(static_cast<Vertex>(psi.size()) == g.num_vertices(),
+              "psi arity mismatch");
+  for (const MeasureRef& m : extra_measures)
+    MMD_REQUIRE(static_cast<Vertex>(m.size()) == g.num_vertices(),
+                "extra measure arity mismatch");
+
+  MultiDecomposeResult out;
+  out.sigma_p = options.sigma_p > 0.0 ? options.sigma_p
+                                      : default_sigma_p(g, options.p);
+  out.bound = theorem4_bound(g, options.p, out.sigma_p, options.k);
+  const std::vector<double> pi =
+      splitting_cost_measure(g, options.p, out.sigma_p);
+
+  // Proposition 7 with the user measures (psi, Phi(1..r)).
+  std::vector<MeasureRef> user;
+  user.reserve(extra_measures.size() + 1);
+  user.push_back(psi);
+  user.insert(user.end(), extra_measures.begin(), extra_measures.end());
+  Coloring chi =
+      minmax_balance(g, options.k, pi, user, splitter, options.rebalance);
+
+  // Strictify psi while keeping the extra measures light in moved parts.
+  if (options.use_strictify && options.k > 1)
+    chi = strictify_almost(g, chi, psi, pi, splitter, options.strictify,
+                           nullptr, extra_measures);
+  if (options.use_binpack2 && options.k > 1)
+    chi = binpack2(g, chi, psi, splitter);
+  if (options.use_refinement && options.use_binpack2 && options.k > 1)
+    minmax_refine(g, chi, psi, options.refine);
+
+  out.coloring = std::move(chi);
+  out.psi_balance = balance_report(psi, out.coloring);
+  for (const MeasureRef& m : extra_measures)
+    out.weak_factors.push_back(weak_balance_factor(m, out.coloring));
+  const auto bc = class_boundary_costs(g, out.coloring);
+  out.max_boundary = norm_inf(bc);
+  out.avg_boundary = norm1(bc) / options.k;
+  return out;
+}
+
+MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
+                                     std::span<const MeasureRef> extra_measures,
+                                     const DecomposeOptions& options) {
+  const auto splitter = make_default_splitter(g, options.splitter);
+  return decompose_multi(g, psi, extra_measures, options, *splitter);
+}
+
+}  // namespace mmd

@@ -1,0 +1,124 @@
+// Theorem 4: the full min-max boundary decomposition pipeline.
+//
+//   decompose(G, w, k):
+//     1. Proposition 7 with Phi(1) = w, Phi(2) = pi: a w-balanced,
+//        pi-balanced coloring with max boundary and max splitting cost
+//        O(sigma_p (k^{-1/p} ||c||_p + Delta_c)).
+//     2. Proposition 11 (shrink-and-conquer): almost strictly balanced,
+//        same bounds up to constants.
+//     3. Proposition 12 (binpack2): strictly balanced (Definition 1):
+//        every class weight within (1 - 1/k) ||w||_inf of ||w||_1 / k.
+//
+// The splitter is pluggable: GridSplitter for grid graphs (Theorem 19),
+// PrefixSplitter for everything else; sigma_p may be supplied, estimated
+// empirically, or defaulted from the grid bound.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/measures.hpp"
+#include "core/multibalance.hpp"
+#include "core/refine.hpp"
+#include "core/strictify.hpp"
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+enum class SplitterKind {
+  Auto,    ///< best-of(GridSplitter, PrefixSplitter) on grids, else Prefix
+  Prefix,
+  Grid,
+};
+
+/// Initial-coloring strategy for the pipeline.
+enum class InitMethod {
+  Paper,      ///< Propositions 7/11/12 exactly (worst-case guarantee)
+  Bisection,  ///< Simon–Teng recursive bisection warm start, then
+              ///< strictification + refinement (often cheaper in practice,
+              ///< no worst-case max-boundary guarantee of its own)
+  Best,       ///< run both, keep the cheaper strictly balanced coloring
+};
+
+struct DecomposeOptions {
+  int k = 2;
+  double p = 2.0;
+  /// sigma_p used to scale the splitting cost measure pi.  <= 0 means:
+  /// grid bound for grid graphs, 2.0 otherwise (only affects the relative
+  /// weighting of pi against other measures and the reported bounds, not
+  /// correctness).
+  double sigma_p = 0.0;
+  SplitterKind splitter = SplitterKind::Auto;
+  InitMethod init = InitMethod::Paper;
+
+  // Ablation switches (benches E5/E7 study their effect).
+  bool balance_boundary = true;  ///< Prop 7 phase 2 (Psi rebalance)
+  bool use_strictify = true;     ///< Prop 11 (else jump to binpack2)
+  bool use_binpack2 = true;      ///< Prop 12 (else stop almost-strict)
+  bool use_refinement = true;    ///< min-max hill climbing post-pass
+                                 ///< (extension; never hurts the bounds)
+
+  RebalanceOptions rebalance;
+  StrictifyParams strictify;
+  MinmaxRefineOptions refine;
+};
+
+struct PhaseReport {
+  double seconds = 0.0;
+  double max_boundary = 0.0;
+  double avg_boundary = 0.0;
+  double max_weight_dev = 0.0;  ///< max |class weight - avg|
+};
+
+struct DecomposeResult {
+  Coloring coloring;
+  double sigma_p = 0.0;        ///< value used
+  TheoryBound bound;           ///< Theorem 4 bound skeleton
+  BalanceReport balance;       ///< final balance w.r.t. w
+  double max_boundary = 0.0;   ///< final ||d chi^-1||_inf
+  double avg_boundary = 0.0;
+  PhaseReport phase_multibalance, phase_strictify, phase_binpack, phase_refine;
+  MinmaxRefineStats refine_stats;
+  double total_seconds = 0.0;
+};
+
+/// Decompose with an externally provided splitter.
+DecomposeResult decompose(const Graph& g, std::span<const double> w,
+                          const DecomposeOptions& options, ISplitter& splitter);
+
+/// Decompose with an internally constructed splitter per options.splitter.
+DecomposeResult decompose(const Graph& g, std::span<const double> w,
+                          const DecomposeOptions& options);
+
+/// The multi-balanced variant of Theorem 4 (Conclusion): a k-coloring that
+/// is strictly balanced w.r.t. `psi`, weakly balanced w.r.t. every extra
+/// measure (max class measure = O(avg + max)), with the same maximum
+/// boundary cost bound.
+struct MultiDecomposeResult {
+  Coloring coloring;
+  BalanceReport psi_balance;           ///< strict, per Definition 1
+  std::vector<double> weak_factors;    ///< per extra measure (see
+                                       ///< weak_balance_factor)
+  double max_boundary = 0.0;
+  double avg_boundary = 0.0;
+  TheoryBound bound;
+  double sigma_p = 0.0;
+};
+
+MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
+                                     std::span<const MeasureRef> extra_measures,
+                                     const DecomposeOptions& options);
+
+MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
+                                     std::span<const MeasureRef> extra_measures,
+                                     const DecomposeOptions& options,
+                                     ISplitter& splitter);
+
+/// The splitter decompose() would construct for this graph and options.
+std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
+                                                 SplitterKind kind);
+
+/// Default sigma_p used when options.sigma_p <= 0 (see DecomposeOptions).
+double default_sigma_p(const Graph& g, double p);
+
+}  // namespace mmd

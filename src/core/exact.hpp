@@ -1,0 +1,41 @@
+// Exact min-max boundary decomposition for tiny instances, by exhaustive
+// enumeration over k-colorings with pruning.
+//
+// Purpose: an optimality anchor.  ∂ᵏ∞ (Definition 2) is a min over all
+// strictly balanced colorings; on instances small enough to enumerate we
+// can compute it exactly and certify how far the Theorem 4 pipeline's
+// constant factor really is (tests/test_exact.cpp does this).
+//
+// Complexity: O(k^n) worst case with branch-and-bound pruning on both the
+// balance window and the incremental boundary cost; practical to ~14
+// vertices.  Color-symmetry is broken by forcing class labels to appear
+// in first-use order.
+#pragma once
+
+#include <optional>
+
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+struct ExactResult {
+  Coloring coloring;          ///< an optimal strictly balanced coloring
+  double max_boundary = 0.0;  ///< the exact ∂ᵏ∞ value for these weights
+  long long nodes_explored = 0;
+};
+
+struct ExactOptions {
+  int max_vertices = 16;        ///< refuse larger instances
+  long long node_budget = 50'000'000;
+};
+
+/// Exact minimum over strictly balanced k-colorings of the maximum
+/// boundary cost.  Returns nullopt iff no strictly balanced coloring
+/// exists within the node budget (the window of Definition 1 is always
+/// satisfiable, so an empty optional with a large budget indicates the
+/// budget was hit).
+std::optional<ExactResult> exact_decompose(const Graph& g,
+                                           std::span<const double> w, int k,
+                                           const ExactOptions& options = {});
+
+}  // namespace mmd

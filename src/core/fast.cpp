@@ -1,0 +1,82 @@
+#include "core/fast.hpp"
+
+#include "core/binpack.hpp"
+#include "graph/coarsen.hpp"
+#include "util/norms.hpp"
+#include "util/timer.hpp"
+
+namespace mmd {
+
+FastResult decompose_fast(const Graph& g, std::span<const double> w,
+                          const FastOptions& options) {
+  MMD_REQUIRE(options.inner.k >= 1, "k must be >= 1");
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+              "weight arity mismatch");
+  Timer timer;
+  FastResult out;
+
+  // Coarsen until small enough (or no further progress).
+  struct Level {
+    Graph graph;
+    std::vector<double> weights;
+    std::vector<Vertex> parent;  ///< mapping from the next finer level
+  };
+  std::vector<Level> levels;
+  const Graph* cur_graph = &g;
+  std::span<const double> cur_w = w;
+  std::uint64_t seed = 0xfa57;
+  while (cur_graph->num_vertices() > options.coarse_target &&
+         static_cast<int>(levels.size()) < options.max_levels) {
+    CoarseLevel cl = coarsen_heavy_edge(*cur_graph, cur_w, seed++);
+    if (cl.graph.num_vertices() >= cur_graph->num_vertices()) break;
+    Level level;
+    level.graph = std::move(cl.graph);
+    level.weights = std::move(cl.weights);
+    level.parent = std::move(cl.parent);
+    levels.push_back(std::move(level));
+    cur_graph = &levels.back().graph;
+    cur_w = levels.back().weights;
+  }
+  out.levels = static_cast<int>(levels.size());
+
+  // Full pipeline on the coarsest level.  Coarse nodes can be heavy, so
+  // the strict window there is loose — re-established at the finest level.
+  DecomposeOptions inner = options.inner;
+  inner.use_refinement = true;
+  Coloring chi = decompose(*cur_graph, cur_w, inner).coloring;
+
+  // Uncoarsen with per-level refinement (loose balance slack on interior
+  // levels: coarse nodes are heavy, exactness comes at the end).
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    chi = project_coloring(chi, levels[i].parent);
+    const Graph& level_graph = i == 0 ? g : levels[i - 1].graph;
+    const std::span<const double> level_w =
+        i == 0 ? w : std::span<const double>(levels[i - 1].weights);
+    MinmaxRefineOptions ro;
+    ro.max_passes = options.refine_passes_per_level;
+    ro.balance_slack = i == 0 ? 1.0 : 2.0;
+    minmax_refine(level_graph, chi, level_w, ro);
+  }
+  if (levels.empty()) {
+    // Nothing was coarsened; chi is already a full-resolution result.
+  }
+
+  // Close the strict window at full resolution.
+  if (options.inner.k > 1) {
+    const auto splitter = make_default_splitter(g, options.inner.splitter);
+    chi = binpack2(g, chi, w, *splitter);
+    MinmaxRefineOptions ro;
+    ro.max_passes = options.refine_passes_per_level;
+    minmax_refine(g, chi, w, ro);
+  }
+
+  out.coloring = std::move(chi);
+  out.balance = balance_report(w, out.coloring);
+  const auto bc = class_boundary_costs(g, out.coloring);
+  out.max_boundary = norm_inf(bc);
+  out.avg_boundary = options.inner.k > 0 ? norm1(bc) / options.inner.k : 0.0;
+  out.total_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace mmd

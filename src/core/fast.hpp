@@ -1,0 +1,37 @@
+// Fast multilevel mode (practical extension).
+//
+// The Theorem 4 pipeline is near-linear but its constants add up at large
+// n (many splitter invocations per Move/Shrink step).  decompose_fast runs
+// the *full* pipeline only on a heavy-edge-coarsened graph, projects the
+// coloring back level by level with min-max refinement, and closes the
+// strict window on the finest level with binpack2 — so the output still
+// carries the exact Definition 1 guarantee (it is re-established at full
+// resolution), while the expensive machinery runs on a graph of
+// `coarse_target` vertices.  Typical speedup: 5-20x at n ~ 10^5 with a
+// small boundary-cost premium (bench E10 quantifies both).
+#pragma once
+
+#include "core/decompose.hpp"
+
+namespace mmd {
+
+struct FastOptions {
+  DecomposeOptions inner;        ///< options for the coarse-level pipeline
+  int coarse_target = 4096;      ///< stop coarsening below this many vertices
+  int max_levels = 24;
+  int refine_passes_per_level = 4;
+};
+
+struct FastResult {
+  Coloring coloring;
+  BalanceReport balance;
+  double max_boundary = 0.0;
+  double avg_boundary = 0.0;
+  int levels = 0;                ///< coarsening levels used
+  double total_seconds = 0.0;
+};
+
+FastResult decompose_fast(const Graph& g, std::span<const double> w,
+                          const FastOptions& options);
+
+}  // namespace mmd

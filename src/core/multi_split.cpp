@@ -1,0 +1,72 @@
+#include "core/multi_split.hpp"
+
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+namespace {
+
+TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
+                            std::span<const MeasureRef> measures,
+                            ISplitter& splitter) {
+  const std::size_t r = measures.size();
+  MMD_ASSERT(r >= 1, "multi_split recursion needs measures");
+  const MeasureRef last = measures[r - 1];
+
+  // Bisect W with respect to the last measure (inequality (2)).
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = w_list;
+  req.weights = last;
+  req.target = set_measure(last, w_list) / 2.0;
+  SplitResult u1 = splitter.split(req);
+
+  Membership in_u1(g.num_vertices());
+  in_u1.assign(u1.inside);
+  std::vector<Vertex> u2 = set_difference(w_list, in_u1);
+
+  TwoColoring out;
+  out.cut_cost = u1.boundary_cost;
+  if (r == 1) {
+    out.side[0] = std::move(u1.inside);
+    out.side[1] = std::move(u2);
+    return out;
+  }
+
+  // Recurse on both halves with the remaining measures.
+  const std::span<const MeasureRef> rest = measures.first(r - 1);
+  TwoColoring half[2] = {multi_split_rec(g, u1.inside, rest, splitter),
+                         multi_split_rec(g, u2, rest, splitter)};
+  out.cut_cost += half[0].cut_cost + half[1].cut_cost;
+
+  // Relabel each half so that side b keeps at most half of U_b's mass of
+  // the last measure (inequality (5)); conditions (3)/(4) are symmetric in
+  // the colors, so the swap is free.
+  for (int b = 0; b < 2; ++b) {
+    const double own = set_measure(last, half[b].side[b]);
+    const double other = set_measure(last, half[b].side[1 - b]);
+    if (own > other) std::swap(half[b].side[0], half[b].side[1]);
+  }
+
+  for (int side = 0; side < 2; ++side) {
+    out.side[side] = std::move(half[0].side[side]);
+    out.side[side].insert(out.side[side].end(), half[1].side[side].begin(),
+                          half[1].side[side].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+TwoColoring multi_split(const Graph& g, std::span<const Vertex> w_list,
+                        std::span<const MeasureRef> measures,
+                        ISplitter& splitter) {
+  MMD_REQUIRE(!measures.empty(), "multi_split needs at least one measure");
+  for (const MeasureRef& m : measures)
+    MMD_REQUIRE(static_cast<Vertex>(m.size()) == g.num_vertices(),
+                "measure arity mismatch");
+  if (w_list.empty()) return {};
+  return multi_split_rec(g, w_list, measures, splitter);
+}
+
+}  // namespace mmd

@@ -1,0 +1,37 @@
+// Lemma 8: multi-balanced 2-colorings.
+//
+// Given measures Phi(1), ..., Phi(r) on a vertex set W, produce a
+// 2-coloring of W such that
+//   * the cut between the color classes costs <= (2^r - 1) sigma_p ||c|W||_p,
+//   * for every j, each class's Phi(j)-measure is at most
+//       (3/4) (Phi(j)(W) + 2^{r-j} ||Phi(j)||_inf),
+//   * for j = 1 (the primary measure) the stronger factor 1/2 holds.
+//
+// Construction (the paper's induction on r): split W by the *last* measure
+// with a splitting set, recurse on both halves with the remaining
+// measures, and relabel each half's coloring so the side named b holds at
+// most half of U_b's Phi(r)-mass (inequality (5)) before taking the direct
+// sum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+using MeasureRef = std::span<const double>;
+
+struct TwoColoring {
+  std::vector<Vertex> side[2];
+  double cut_cost = 0.0;  ///< total cost of splitter cuts applied within W
+};
+
+/// Lemma 8.  measures must be non-empty; measures[0] is Phi(1) (the
+/// primary measure with the strongest guarantee).
+TwoColoring multi_split(const Graph& g, std::span<const Vertex> w_list,
+                        std::span<const MeasureRef> measures,
+                        ISplitter& splitter);
+
+}  // namespace mmd

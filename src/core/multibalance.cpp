@@ -1,0 +1,64 @@
+#include "core/multibalance.hpp"
+
+#include "core/measures.hpp"
+
+namespace mmd {
+
+namespace {
+void accumulate(MultibalanceStats* stats, const RebalanceStats& round) {
+  if (!stats) return;
+  stats->cut_cost += round.cut_cost;
+  stats->total_moves += round.moves;
+  ++stats->rebalance_rounds;
+}
+}  // namespace
+
+Coloring multibalance(const Graph& g, int k,
+                      std::span<const MeasureRef> measures, ISplitter& splitter,
+                      const RebalanceOptions& options,
+                      MultibalanceStats* stats) {
+  MMD_REQUIRE(k >= 1, "need k >= 1");
+  // Induction base (r = 0): the trivial coloring.  Every vertex in class 0
+  // has zero boundary cost.
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = 0;
+
+  // Fold measures in from the last to the first: the pass for measure j
+  // balances it while preserving the already balanced j+1..r-1 (Lemma 9's
+  // guarantee for the non-primary measures).
+  for (std::size_t j = measures.size(); j-- > 0;) {
+    RebalanceStats round;
+    chi = rebalance(g, chi, measures.subspan(j), splitter, options, &round);
+    accumulate(stats, round);
+  }
+  return chi;
+}
+
+Coloring minmax_balance(const Graph& g, int k, std::span<const double> pi,
+                        std::span<const MeasureRef> user_measures,
+                        ISplitter& splitter, const RebalanceOptions& options,
+                        MultibalanceStats* stats) {
+  MMD_REQUIRE(static_cast<Vertex>(pi.size()) == g.num_vertices(),
+              "pi arity mismatch");
+  // Phase 1 (Lemma 6): balance (pi, user measures...).
+  std::vector<MeasureRef> phase1;
+  phase1.reserve(user_measures.size() + 1);
+  phase1.push_back(pi);
+  for (const MeasureRef& m : user_measures) phase1.push_back(m);
+  Coloring chi = multibalance(g, k, phase1, splitter, options, stats);
+
+  // Phase 2 (Proposition 7): balance the boundary costs of chi, modeled as
+  // the bichromatic measure Psi, on top of everything else.
+  const std::vector<double> psi = bichromatic_cost_measure(g, chi);
+  std::vector<MeasureRef> phase2;
+  phase2.reserve(phase1.size() + 1);
+  phase2.push_back(psi);
+  for (const MeasureRef& m : phase1) phase2.push_back(m);
+
+  RebalanceStats round;
+  Coloring chi_hat = rebalance(g, chi, phase2, splitter, options, &round);
+  accumulate(stats, round);
+  return chi_hat;
+}
+
+}  // namespace mmd

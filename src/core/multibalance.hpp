@@ -1,0 +1,42 @@
+// Lemma 6 and Proposition 7: multi-balanced k-colorings.
+//
+// multibalance (Lemma 6) produces a k-coloring simultaneously balanced
+// with respect to all given measures with average boundary cost
+// O_r(sigma_p q k^{-1/p} ||c||_p): starting from the trivial one-class
+// coloring, it folds in one measure at a time with Lemma 9.
+//
+// minmax_balance (Proposition 7) additionally bounds the *maximum*
+// boundary cost by O_r(sigma_p (q k^{-1/p} ||c||_p + Delta_c)): it first
+// balances (pi, user measures...) via Lemma 6, then models the boundary
+// cost of that coloring as the bichromatic vertex measure Psi and balances
+// (Psi, pi, user measures...) with one more Lemma 9 pass.  pi-balance
+// guarantees every Move splits its class at cost O(B'), which is what
+// keeps the *maximum* (not just average) boundary controlled.
+#pragma once
+
+#include "core/rebalance.hpp"
+
+namespace mmd {
+
+struct MultibalanceStats {
+  double cut_cost = 0.0;
+  int total_moves = 0;
+  int rebalance_rounds = 0;
+};
+
+/// Lemma 6: k-coloring of the whole graph balanced w.r.t. every measure.
+Coloring multibalance(const Graph& g, int k,
+                      std::span<const MeasureRef> measures, ISplitter& splitter,
+                      const RebalanceOptions& options = {},
+                      MultibalanceStats* stats = nullptr);
+
+/// Proposition 7: multi-balanced coloring with bounded maximum boundary
+/// cost.  `pi` is the splitting cost measure (Definition 10); user
+/// measures (possibly empty) are balanced as well.
+Coloring minmax_balance(const Graph& g, int k, std::span<const double> pi,
+                        std::span<const MeasureRef> user_measures,
+                        ISplitter& splitter,
+                        const RebalanceOptions& options = {},
+                        MultibalanceStats* stats = nullptr);
+
+}  // namespace mmd

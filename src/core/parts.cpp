@@ -1,0 +1,159 @@
+#include "core/parts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+std::vector<std::vector<Vertex>> iterative_partition(
+    const Graph& g, std::span<const Vertex> u_list, MeasureRef psi,
+    double chunk_weight, ISplitter& splitter, double* cut_cost) {
+  MMD_REQUIRE(chunk_weight > 0.0, "chunk weight must be positive");
+  std::vector<std::vector<Vertex>> chunks;
+  std::vector<Vertex> rest(u_list.begin(), u_list.end());
+  Membership in_chunk(g.num_vertices());
+
+  double rest_weight = set_measure(psi, rest);
+  const std::size_t max_chunks = u_list.size() + 2;
+  while (rest_weight > 3.0 * chunk_weight && !rest.empty()) {
+    MMD_REQUIRE(chunks.size() < max_chunks, "iterative_partition diverged");
+    const double wmax = set_measure_max(psi, rest);
+    SplitRequest req;
+    req.g = &g;
+    req.w_list = rest;
+    req.weights = psi;
+    req.target = chunk_weight + wmax / 2.0;  // window => [chunk, chunk+wmax]
+    SplitResult x = splitter.split(req);
+    if (cut_cost) *cut_cost += x.boundary_cost;
+    if (x.inside.empty() || x.inside.size() == rest.size()) break;  // degenerate
+    in_chunk.assign(x.inside);
+    rest = set_difference(rest, in_chunk);
+    rest_weight -= x.weight;
+    chunks.push_back(std::move(x.inside));
+  }
+  if (!rest.empty()) chunks.push_back(std::move(rest));
+  return chunks;
+}
+
+ExtractedPart extract_light_part(const Graph& g, std::span<const Vertex> u_list,
+                                 MeasureRef psi, double chunk_weight,
+                                 std::span<const MeasureRef> aux,
+                                 ISplitter& splitter) {
+  ExtractedPart out;
+  if (u_list.empty()) return out;
+  auto chunks = iterative_partition(g, u_list, psi, chunk_weight, splitter,
+                                    &out.cut_cost);
+  MMD_ASSERT(!chunks.empty(), "partition produced no chunks");
+
+  // Totals per auxiliary measure for normalized shares.
+  std::vector<double> totals(aux.size(), 0.0);
+  for (std::size_t j = 0; j < aux.size(); ++j)
+    totals[j] = set_measure(aux[j], u_list);
+
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    double score = 0.0;  // max normalized share over the measures
+    for (std::size_t j = 0; j < aux.size(); ++j) {
+      if (totals[j] <= 0.0) continue;
+      score = std::max(score, set_measure(aux[j], chunks[i]) / totals[j]);
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  out.part = std::move(chunks[best]);
+  out.psi_weight = set_measure(psi, out.part);
+  return out;
+}
+
+ExtractedPart extract_hitting_part(const Graph& g, std::span<const Vertex> u_list,
+                                   MeasureRef psi, double target,
+                                   std::span<const MeasureRef> aux,
+                                   ISplitter& splitter) {
+  ExtractedPart out;
+  if (u_list.empty()) return out;
+  const double total = set_measure(psi, u_list);
+  if (total <= target) {  // take everything
+    out.part.assign(u_list.begin(), u_list.end());
+    out.psi_weight = total;
+    return out;
+  }
+
+  // Lemma 30: chunks of weight about target / max(r,1), then the union of
+  // per-measure argmax chunks ...
+  const auto r = std::max<std::size_t>(aux.size(), 1);
+  const double chunk_weight = std::max(target / static_cast<double>(r + 1), 1e-300);
+  auto chunks = iterative_partition(g, u_list, psi, chunk_weight, splitter,
+                                    &out.cut_cost);
+  MMD_ASSERT(!chunks.empty(), "partition produced no chunks");
+
+  Membership taken(g.num_vertices());
+  taken.clear();
+  double weight = 0.0;
+  auto take_chunk = [&](std::size_t i) {
+    for (Vertex v : chunks[i]) {
+      if (taken.contains(v)) continue;
+      taken.add(v);
+      out.part.push_back(v);
+      weight += psi[static_cast<std::size_t>(v)];
+    }
+  };
+  for (std::size_t j = 0; j < aux.size(); ++j) {
+    std::size_t arg = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const double m = set_measure(aux[j], chunks[i]);
+      if (m > best) {
+        best = m;
+        arg = i;
+      }
+    }
+    if (weight + set_measure(psi, chunks[arg]) <= target + 1e-12 * (1.0 + target))
+      take_chunk(arg);
+  }
+
+  // ... padded with a splitting set of the remainder up to the target.
+  if (weight < target) {
+    std::vector<Vertex> rest;
+    rest.reserve(u_list.size());
+    for (Vertex v : u_list)
+      if (!taken.contains(v)) rest.push_back(v);
+    const double rest_max = set_measure_max(psi, rest);
+    SplitRequest req;
+    req.g = &g;
+    req.w_list = rest;
+    req.weights = psi;
+    req.target = std::min(target - weight + rest_max / 2.0,
+                          set_measure(psi, rest));
+    SplitResult pad = splitter.split(req);
+    out.cut_cost += pad.boundary_cost;
+    for (Vertex v : pad.inside) {
+      out.part.push_back(v);
+      weight += psi[static_cast<std::size_t>(v)];
+    }
+  }
+  out.psi_weight = weight;
+  return out;
+}
+
+void boundary_measure_of(const Graph& g, std::span<const Vertex> u_list,
+                         std::vector<double>& scratch) {
+  scratch.assign(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  Membership in_u(g.num_vertices());
+  in_u.assign(u_list);
+  for (Vertex v : u_list) {
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    double s = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (!in_u.contains(nbrs[i])) s += g.edge_cost(eids[i]);
+    scratch[static_cast<std::size_t>(v)] = s;
+  }
+}
+
+}  // namespace mmd

@@ -1,0 +1,58 @@
+// Part extraction (Appendix A.1, Lemmas 28-30; Corollaries 16-18).
+//
+// The shrinking procedure moves vertex "parts" of weight about eps*Psi*
+// between color classes.  Two dual extraction modes exist:
+//   * extract_light_part (Lemmas 28/29, Corollaries 16/17): partition U
+//     into chunks of the requested Psi-weight via repeated splitting sets
+//     (procedure IterativePartition) and return the chunk carrying the
+//     *smallest* share of every auxiliary measure (pigeonhole: with
+//     enough chunks one is light in all measures at once);
+//   * extract_hitting_part (Lemma 30, Corollary 18): return a part that
+//     *contains* an argmax chunk of every auxiliary measure, padded with a
+//     splitting set up to the requested weight, so that the remainder
+//     U \ X loses a definite fraction of every measure.
+// The boundary cost d(X) is handled by passing the boundary measure
+// v -> c(delta(v) cap delta(U)) as one of the auxiliary measures (the
+// corollaries' Phi(r) trick).
+#pragma once
+
+#include "core/multi_split.hpp"
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+/// Lemma 28 (procedure IterativePartition): partition U into chunks, each
+/// of Psi-weight >= chunk_weight (except possibly when U itself is
+/// lighter) and <= max(3*chunk_weight, chunk_weight + ||Psi|U||_inf).
+/// Adds the applied splitter cut costs to *cut_cost if given.
+std::vector<std::vector<Vertex>> iterative_partition(
+    const Graph& g, std::span<const Vertex> u_list, MeasureRef psi,
+    double chunk_weight, ISplitter& splitter, double* cut_cost = nullptr);
+
+struct ExtractedPart {
+  std::vector<Vertex> part;  ///< X, a subset of U
+  double psi_weight = 0.0;
+  double cut_cost = 0.0;     ///< splitter cost expended inside U
+};
+
+/// Corollaries 16/17 via Lemma 29: X with Psi(X) about chunk_weight whose
+/// share of every measure in `aux` is (near-)minimal among the chunks.
+ExtractedPart extract_light_part(const Graph& g, std::span<const Vertex> u_list,
+                                 MeasureRef psi, double chunk_weight,
+                                 std::span<const MeasureRef> aux,
+                                 ISplitter& splitter);
+
+/// Corollary 18 via Lemma 30: X with Psi(X) in [target, target + wmax]
+/// containing a maximal chunk of every measure in `aux`.
+ExtractedPart extract_hitting_part(const Graph& g, std::span<const Vertex> u_list,
+                                   MeasureRef psi, double target,
+                                   std::span<const MeasureRef> aux,
+                                   ISplitter& splitter);
+
+/// The boundary measure of U: out[v] = c(delta(v) cap delta(U)) for v in U
+/// (0 elsewhere); written into `scratch` (resized to n, zeroed only at the
+/// touched positions of the previous call via the returned touch list).
+void boundary_measure_of(const Graph& g, std::span<const Vertex> u_list,
+                         std::vector<double>& scratch);
+
+}  // namespace mmd

@@ -1,0 +1,111 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/norms.hpp"
+
+namespace mmd {
+
+MinmaxRefineStats minmax_refine(const Graph& g, Coloring& chi,
+                                std::span<const double> w,
+                                const MinmaxRefineOptions& options) {
+  validate_coloring(g, chi, /*require_total=*/true);
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+              "weight arity mismatch");
+  const int k = chi.k;
+  MinmaxRefineStats stats;
+
+  std::vector<double> bc = class_boundary_costs(g, chi);
+  std::vector<double> cw = class_measure(w, chi);
+  stats.max_boundary_before = norm_inf(bc);
+  if (k <= 1) {
+    stats.max_boundary_after = stats.max_boundary_before;
+    return stats;
+  }
+
+  const double avg = norm1(w) / k;
+  const double slack =
+      options.balance_slack * (1.0 - 1.0 / k) * norm_inf(w) +
+      1e-12 * std::max(1.0, avg);
+
+  double total_bc = 0.0;
+  for (double x : bc) total_bc += x;
+
+  // Per-move scratch: cost of v's edges toward each class (sparse).
+  std::vector<double> toward(static_cast<std::size_t>(k), 0.0);
+  std::vector<std::int32_t> touched;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const std::int32_t from = chi[v];
+      const auto nbrs = g.neighbors(v);
+      const auto eids = g.incident_edges(v);
+
+      touched.clear();
+      double toward_all = 0.0;
+      bool boundary_vertex = false;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const std::int32_t c = chi[nbrs[i]];
+        const double cost = g.edge_cost(eids[i]);
+        if (toward[static_cast<std::size_t>(c)] == 0.0) touched.push_back(c);
+        toward[static_cast<std::size_t>(c)] += cost;
+        toward_all += cost;
+        if (c != from) boundary_vertex = true;
+      }
+      if (boundary_vertex) {
+        const double wv = w[static_cast<std::size_t>(v)];
+        const double cur_max = norm_inf(bc);
+        // Candidate targets: the classes v already touches.
+        for (const std::int32_t to : touched) {
+          if (to == from) continue;
+          // Balance feasibility.
+          if (std::abs(cw[static_cast<std::size_t>(from)] - wv - avg) > slack)
+            continue;
+          if (std::abs(cw[static_cast<std::size_t>(to)] + wv - avg) > slack)
+            continue;
+          const double s_from = toward[static_cast<std::size_t>(from)];
+          const double s_to = toward[static_cast<std::size_t>(to)];
+          // Boundary deltas (only `from` and `to` change; third-party
+          // classes see v as foreign before and after).
+          const double new_from =
+              bc[static_cast<std::size_t>(from)] + s_from - (toward_all - s_from);
+          const double new_to =
+              bc[static_cast<std::size_t>(to)] + (toward_all - s_to) - s_to;
+          const double new_total = total_bc +
+                                   (new_from - bc[static_cast<std::size_t>(from)]) +
+                                   (new_to - bc[static_cast<std::size_t>(to)]);
+          // Lexicographic acceptance: the pairwise max must not exceed the
+          // current global max, and (max, total) must strictly improve.
+          const double pair_max = std::max(new_from, new_to);
+          if (pair_max > cur_max + 1e-12) continue;
+          const bool improves_max =
+              (bc[static_cast<std::size_t>(from)] >= cur_max - 1e-12 ||
+               bc[static_cast<std::size_t>(to)] >= cur_max - 1e-12) &&
+              pair_max < cur_max - 1e-12;
+          const bool improves_total = new_total < total_bc - 1e-12;
+          if (!improves_max && !improves_total) continue;
+
+          chi[v] = to;
+          cw[static_cast<std::size_t>(from)] -= wv;
+          cw[static_cast<std::size_t>(to)] += wv;
+          bc[static_cast<std::size_t>(from)] = new_from;
+          bc[static_cast<std::size_t>(to)] = new_to;
+          total_bc = new_total;
+          ++stats.moves;
+          improved = true;
+          break;
+        }
+      }
+      for (const std::int32_t c : touched) toward[static_cast<std::size_t>(c)] = 0.0;
+    }
+    if (!improved) break;
+  }
+
+  // Recompute exactly to absorb floating-point drift.
+  stats.max_boundary_after = norm_inf(class_boundary_costs(g, chi));
+  return stats;
+}
+
+}  // namespace mmd

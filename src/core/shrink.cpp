@@ -1,0 +1,163 @@
+#include "core/shrink.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+namespace {
+
+/// deg_W measure: degree of v inside G[W] (Section 5 uses it to force the
+/// geometric size decrease of condition (c)).
+std::vector<double> degree_measure(const Graph& g, std::span<const Vertex> w_list) {
+  std::vector<double> deg(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  Membership in_w(g.num_vertices());
+  in_w.assign(w_list);
+  for (Vertex v : w_list) {
+    int d = 0;
+    for (Vertex u : g.neighbors(v))
+      if (in_w.contains(u)) ++d;
+    deg[static_cast<std::size_t>(v)] = d;
+  }
+  return deg;
+}
+
+}  // namespace
+
+ShrinkOutput shrink_once(const Graph& g, std::span<const Vertex> w_list,
+                         const Coloring& chi, std::span<const double> w,
+                         std::span<const double> pi, ISplitter& splitter,
+                         const ShrinkParams& params,
+                         std::span<const MeasureRef> preserve) {
+  MMD_REQUIRE(params.eps > 0.0 && params.eps < 1.0, "eps in (0,1)");
+  const int k = chi.k;
+  MMD_REQUIRE(k >= 1, "coloring must have k >= 1");
+
+  const double total = set_measure(w, w_list);
+  const double psi_star = total / k;
+  MMD_REQUIRE(psi_star > 0.0, "shrink needs positive total weight");
+  const double eps = params.eps;
+
+  // Tentative classes of chi~ restricted to W.
+  std::vector<std::vector<Vertex>> cls(static_cast<std::size_t>(k));
+  for (Vertex v : w_list) {
+    const std::int32_t c = chi[v];
+    MMD_REQUIRE(c >= 0 && c < k, "chi must color exactly W");
+    cls[static_cast<std::size_t>(c)].push_back(v);
+  }
+  std::vector<double> cw(static_cast<std::size_t>(k), 0.0);
+  for (int i = 0; i < k; ++i) cw[static_cast<std::size_t>(i)] = set_measure(w, cls[static_cast<std::size_t>(i)]);
+
+  // Raise M if the input is more unbalanced than the caller promised.
+  double big_m = params.M;
+  for (double x : cw) big_m = std::max(big_m, 2.0 * x / psi_star + 1.0);
+
+  ShrinkOutput out;
+  const std::vector<double> deg_w = degree_measure(g, w_list);
+  std::vector<double> bnd_scratch;  // boundary measure of the current donor
+
+  Membership removed(g.num_vertices());
+  auto erase_part = [&](int color, std::span<const Vertex> part) {
+    removed.assign(part);
+    auto& c = cls[static_cast<std::size_t>(color)];
+    c = set_difference(c, removed);
+    const double pw = set_measure(w, part);
+    cw[static_cast<std::size_t>(color)] -= pw;
+    return pw;
+  };
+  auto paint_part = [&](int color, std::vector<Vertex> part) {
+    const double pw = set_measure(w, part);
+    auto& c = cls[static_cast<std::size_t>(color)];
+    c.insert(c.end(), part.begin(), part.end());
+    cw[static_cast<std::size_t>(color)] += pw;
+  };
+
+  // The three extraction measures of Section 5: Phi(1) = pi, Phi(2) =
+  // deg_W, and the boundary measure of the donor class (Cor. 16-18's
+  // Phi(r)).
+  auto extraction_measures = [&](std::span<const Vertex> donor) {
+    boundary_measure_of(g, donor, bnd_scratch);
+    std::vector<MeasureRef> ms{pi, deg_w, bnd_scratch};
+    ms.insert(ms.end(), preserve.begin(), preserve.end());
+    return ms;
+  };
+
+  std::vector<std::vector<Vertex>> buffer;
+
+  // Step (2): CutDown heavy classes to <= M/2 * Psi*.
+  for (int i = 0; i < k; ++i) {
+    int guard = 0;
+    while (cw[static_cast<std::size_t>(i)] > big_m / 2.0 * psi_star) {
+      MMD_REQUIRE(++guard < 4 * static_cast<int>(w_list.size()) + 16,
+                  "CutDown diverged");
+      const auto aux = extraction_measures(cls[static_cast<std::size_t>(i)]);
+      ExtractedPart x = extract_light_part(g, cls[static_cast<std::size_t>(i)], w,
+                                           eps * psi_star, aux, splitter);
+      out.cut_cost += x.cut_cost;
+      if (x.part.empty()) break;
+      erase_part(i, x.part);
+      buffer.push_back(std::move(x.part));
+    }
+  }
+
+  // Step (3): AddTo light classes until >= eps * Psi*.
+  for (int j = 0; j < k; ++j) {
+    int guard = 0;
+    while (cw[static_cast<std::size_t>(j)] < eps * psi_star) {
+      MMD_REQUIRE(++guard < 4 * static_cast<int>(w_list.size()) + 16,
+                  "AddTo diverged");
+      std::vector<Vertex> part;
+      if (!buffer.empty()) {
+        part = std::move(buffer.back());
+        buffer.pop_back();
+      } else {
+        // Donor: the heaviest class (paper: any class >= Psi*/2).
+        const int donor = static_cast<int>(
+            std::max_element(cw.begin(), cw.end()) - cw.begin());
+        MMD_REQUIRE(donor != j && cw[static_cast<std::size_t>(donor)] >= psi_star / 2.0,
+                    "AddTo found no donor class");
+        const auto aux = extraction_measures(cls[static_cast<std::size_t>(donor)]);
+        ExtractedPart x = extract_light_part(g, cls[static_cast<std::size_t>(donor)],
+                                             w, eps * psi_star, aux, splitter);
+        out.cut_cost += x.cut_cost;
+        MMD_REQUIRE(!x.part.empty(), "AddTo donor produced empty part");
+        erase_part(donor, x.part);
+        part = std::move(x.part);
+      }
+      paint_part(j, std::move(part));
+    }
+  }
+
+  // Step (4): ReduceBuffer onto below-average classes.
+  while (!buffer.empty()) {
+    const int j = static_cast<int>(std::min_element(cw.begin(), cw.end()) -
+                                   cw.begin());
+    paint_part(j, std::move(buffer.back()));
+    buffer.pop_back();
+  }
+
+  // Step (5): per-class Corollary 18 extraction -> chi0 on W0.
+  out.chi0 = Coloring(k, g.num_vertices());
+  out.chi1 = Coloring(k, g.num_vertices());
+  for (int i = 0; i < k; ++i) {
+    auto& c = cls[static_cast<std::size_t>(i)];
+    const auto aux = extraction_measures(c);
+    ExtractedPart x = extract_hitting_part(g, c, w, eps * psi_star, aux, splitter);
+    out.cut_cost += x.cut_cost;
+    removed.assign(x.part);
+    const std::vector<Vertex> rest = set_difference(c, removed);
+    for (Vertex v : x.part) {
+      out.chi0[v] = i;
+      out.w0.push_back(v);
+    }
+    for (Vertex v : rest) {
+      out.chi1[v] = i;
+      out.w1.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mmd

@@ -1,0 +1,37 @@
+// Structured verification of a decomposition against every guarantee the
+// library promises.  Used by the CLI (--verify), the tests, and available
+// to downstream users who want a machine-checkable certificate instead of
+// trusting the pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+struct VerifyReport {
+  bool ok = true;                    ///< all checks passed
+  std::vector<std::string> failures; ///< human-readable failure notes
+
+  // Individual checks:
+  bool total = false;                ///< every vertex colored, colors in range
+  bool strictly_balanced = false;    ///< Definition 1 window
+  double max_dev = 0.0;
+  double strict_bound = 0.0;
+  double max_boundary = 0.0;         ///< recomputed from scratch
+  double avg_boundary = 0.0;
+  int nonempty_classes = 0;
+  /// Number of classes split into multiple connected components (not a
+  /// failure — Theorem 4 does not promise connectivity — but a quality
+  /// signal the report surfaces).
+  int fragmented_classes = 0;
+};
+
+/// Verify chi against graph + weights.  Never throws on check failures
+/// (they are recorded); throws only on arity mismatches.
+VerifyReport verify_decomposition(const Graph& g, std::span<const double> w,
+                                  const Coloring& chi);
+
+}  // namespace mmd

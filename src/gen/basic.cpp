@@ -1,0 +1,110 @@
+#include "gen/basic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+namespace mmd {
+
+namespace {
+double iid_cost(const CostParams& costs, Rng& rng) {
+  const std::array<double, 1> mid{0.5};
+  return sample_cost(costs, mid, rng);
+}
+}  // namespace
+
+Graph make_path(int n, const CostParams& costs) {
+  MMD_REQUIRE(n >= 1, "path needs n >= 1");
+  GraphBuilder builder(n);
+  Rng rng(costs.seed);
+  for (Vertex v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1, iid_cost(costs, rng));
+  for (Vertex v = 0; v < n; ++v) {
+    const std::array<std::int32_t, 1> x{v};
+    builder.set_coords(v, x);
+  }
+  return builder.build();
+}
+
+Graph make_cycle(int n, const CostParams& costs) {
+  MMD_REQUIRE(n >= 3, "cycle needs n >= 3");
+  GraphBuilder builder(n);
+  Rng rng(costs.seed);
+  for (Vertex v = 0; v < n; ++v)
+    builder.add_edge(v, static_cast<Vertex>((v + 1) % n), iid_cost(costs, rng));
+  return builder.build();
+}
+
+Graph make_star(int leaves, const CostParams& costs) {
+  MMD_REQUIRE(leaves >= 0, "negative leaf count");
+  GraphBuilder builder(leaves + 1);
+  Rng rng(costs.seed);
+  for (Vertex v = 1; v <= leaves; ++v) builder.add_edge(0, v, iid_cost(costs, rng));
+  return builder.build();
+}
+
+Graph make_complete_binary_tree(int depth, const CostParams& costs) {
+  MMD_REQUIRE(depth >= 0 && depth < 30, "tree depth in [0,30)");
+  const Vertex n = static_cast<Vertex>((1LL << (depth + 1)) - 1);
+  GraphBuilder builder(n);
+  Rng rng(costs.seed);
+  for (Vertex v = 1; v < n; ++v)
+    builder.add_edge((v - 1) / 2, v, iid_cost(costs, rng));
+  return builder.build();
+}
+
+Graph make_torus(int rows, int cols, const CostParams& costs) {
+  MMD_REQUIRE(rows >= 3 && cols >= 3, "torus needs extents >= 3");
+  GraphBuilder builder(static_cast<Vertex>(rows) * cols);
+  Rng rng(costs.seed);
+  auto node = [cols](int r, int c) { return static_cast<Vertex>(r) * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::array<std::int32_t, 2> xy{r, c};
+      builder.set_coords(node(r, c), xy);
+      builder.add_edge(node(r, c), node((r + 1) % rows, c), iid_cost(costs, rng));
+      builder.add_edge(node(r, c), node(r, (c + 1) % cols), iid_cost(costs, rng));
+    }
+  }
+  return builder.build();
+}
+
+Graph make_isolated(int n) {
+  MMD_REQUIRE(n >= 0, "negative vertex count");
+  GraphBuilder builder(n);
+  return builder.build();
+}
+
+Graph make_random_regular(int n, int degree, const CostParams& costs,
+                          std::uint64_t seed) {
+  MMD_REQUIRE(n >= 2 && degree >= 1 && degree < n, "bad regular parameters");
+  MMD_REQUIRE(static_cast<long long>(n) * degree % 2 == 0,
+              "n * degree must be even");
+  Rng rng(seed ^ costs.seed);
+  // Configuration model: pair up degree stubs per vertex uniformly.
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * degree);
+  for (Vertex v = 0; v < n; ++v)
+    for (int i = 0; i < degree; ++i) stubs.push_back(v);
+  for (std::size_t i = stubs.size(); i > 1; --i)
+    std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+
+  // Drop self-loops and duplicates (the builder would coalesce duplicates
+  // by summing costs, which is not wanted here).
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  pairs.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    Vertex a = stubs[i], b = stubs[i + 1];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    pairs.emplace_back(a, b);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  GraphBuilder builder(n);
+  for (const auto& [a, b] : pairs) builder.add_edge(a, b, iid_cost(costs, rng));
+  return builder.build();
+}
+
+}  // namespace mmd

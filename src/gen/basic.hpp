@@ -1,0 +1,30 @@
+// Elementary graph families used by tests and the tight-instance
+// constructions: paths, cycles, stars, complete binary trees, tori.
+#pragma once
+
+#include "gen/costs.hpp"
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+Graph make_path(int n, const CostParams& costs = {});
+Graph make_cycle(int n, const CostParams& costs = {});
+Graph make_star(int leaves, const CostParams& costs = {});
+Graph make_complete_binary_tree(int depth, const CostParams& costs = {});
+
+/// 2-D torus (grid with wraparound) — bounded degree, non-planar for
+/// large sizes; coordinates attached but *not* a grid graph (wrap edges).
+Graph make_torus(int rows, int cols, const CostParams& costs = {});
+
+/// Empty-edge graph on n isolated vertices.
+Graph make_isolated(int n);
+
+/// Random d-regular(ish) graph via the configuration model (self-loops
+/// and duplicate pairs dropped, so degrees can fall slightly below d).
+/// With high probability an expander — the paper's *negative* example:
+/// no p-separator theorem for any p > 1, hence no good min-max boundary
+/// decomposition exists (experiment E11 uses it as the control family).
+Graph make_random_regular(int n, int degree, const CostParams& costs = {},
+                          std::uint64_t seed = 43);
+
+}  // namespace mmd

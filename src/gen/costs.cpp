@@ -1,0 +1,36 @@
+#include "gen/costs.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mmd {
+
+double sample_cost(const CostParams& params, std::span<const double> mid, Rng& rng) {
+  MMD_REQUIRE(params.lo > 0.0 && params.hi >= params.lo,
+              "cost model needs 0 < lo <= hi");
+  switch (params.model) {
+    case CostModel::Unit:
+      return params.lo;
+    case CostModel::Uniform:
+      return rng.uniform(params.lo, params.hi);
+    case CostModel::LogUniform:
+      return rng.log_uniform(params.lo, params.hi);
+    case CostModel::SmoothField: {
+      // Product of shifted sinusoids per axis in [0,1]; cost interpolates
+      // geometrically between lo and hi so the fluctuation is exactly hi/lo.
+      double s = 1.0;
+      for (double x : mid)
+        s *= 0.5 * (1.0 + std::sin(2.0 * std::numbers::pi * x +
+                                   0.7));  // phase breaks axis symmetry
+      return params.lo * std::pow(params.hi / params.lo, s);
+    }
+    case CostModel::Bands: {
+      // Expensive band across the middle third of the first axis.
+      const double x = mid.empty() ? 0.5 : mid[0];
+      return (x > 1.0 / 3.0 && x < 2.0 / 3.0) ? params.hi : params.lo;
+    }
+  }
+  return params.lo;
+}
+
+}  // namespace mmd

@@ -1,0 +1,36 @@
+// Edge-cost models shared by the generators.
+//
+// The grid-separator theorem (Theorem 19) is parameterized by the
+// fluctuation phi = max c / min c, so the models are designed around
+// controlling phi:
+//   Unit        c == 1                                    (phi = 1)
+//   Uniform     c ~ U[lo, hi]                             (phi ~ hi/lo)
+//   LogUniform  log c ~ U[log lo, log hi]; heavy spread   (phi ~ hi/lo)
+//   SmoothField c = smooth function of the edge midpoint; spatially
+//               correlated, the regime where cheap separators hide in the
+//               low-cost valleys
+//   Bands       an expensive slab across the middle of the domain; the
+//               adversarial case for coordinate-oblivious splitters
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/prng.hpp"
+
+namespace mmd {
+
+enum class CostModel { Unit, Uniform, LogUniform, SmoothField, Bands };
+
+struct CostParams {
+  CostModel model = CostModel::Unit;
+  double lo = 1.0;  ///< minimum cost
+  double hi = 1.0;  ///< maximum cost
+  std::uint64_t seed = 1;
+};
+
+/// Sample a cost for an edge whose midpoint, normalized to [0,1]^d, is
+/// `mid`.  Geometric models use `mid`; i.i.d. models ignore it.
+double sample_cost(const CostParams& params, std::span<const double> mid, Rng& rng);
+
+}  // namespace mmd

@@ -1,0 +1,168 @@
+#include "gen/geometric.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace mmd {
+
+namespace {
+
+struct Point {
+  double x, y;
+};
+
+std::vector<Point> random_points(int n, Rng& rng) {
+  std::vector<Point> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.uniform();
+    p.y = rng.uniform();
+  }
+  return pts;
+}
+
+/// Uniform-grid spatial index over [0,1]^2 with cell size `cell`.
+class Buckets {
+ public:
+  Buckets(const std::vector<Point>& pts, double cell)
+      : cell_(std::max(cell, 1e-6)),
+        side_(std::max(1, static_cast<int>(1.0 / cell_))),
+        grid_(static_cast<std::size_t>(side_) * side_) {
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      grid_[index(pts[i])].push_back(static_cast<Vertex>(i));
+  }
+
+  template <typename Fn>
+  void for_neighborhood(const Point& p, int ring, Fn&& fn) const {
+    const int cx = clamp_cell(static_cast<int>(p.x / cell_));
+    const int cy = clamp_cell(static_cast<int>(p.y / cell_));
+    for (int dx = -ring; dx <= ring; ++dx) {
+      for (int dy = -ring; dy <= ring; ++dy) {
+        const int x = cx + dx, y = cy + dy;
+        if (x < 0 || y < 0 || x >= side_ || y >= side_) continue;
+        for (Vertex v : grid_[static_cast<std::size_t>(y) * side_ + x]) fn(v);
+      }
+    }
+  }
+
+ private:
+  std::size_t index(const Point& p) const {
+    const int cx = clamp_cell(static_cast<int>(p.x / cell_));
+    const int cy = clamp_cell(static_cast<int>(p.y / cell_));
+    return static_cast<std::size_t>(cy) * side_ + cx;
+  }
+  int clamp_cell(int c) const { return std::clamp(c, 0, side_ - 1); }
+
+  double cell_;
+  int side_;
+  std::vector<std::vector<Vertex>> grid_;
+};
+
+double dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+void attach_scaled_coords(GraphBuilder& builder, const std::vector<Point>& pts) {
+  constexpr std::int32_t kResolution = 1 << 20;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::array<std::int32_t, 2> xy{
+        static_cast<std::int32_t>(pts[i].x * kResolution),
+        static_cast<std::int32_t>(pts[i].y * kResolution)};
+    builder.set_coords(static_cast<Vertex>(i), xy);
+  }
+}
+
+double edge_cost_for(const CostParams& costs, double d, double radius, Rng& rng) {
+  if (costs.model == CostModel::Unit) return costs.lo;
+  if (costs.model == CostModel::Uniform || costs.model == CostModel::LogUniform) {
+    const std::array<double, 2> unused{0.5, 0.5};
+    return sample_cost(costs, unused, rng);
+  }
+  // Geometric models: decay from hi (touching) to lo (at radius).
+  const double t = radius > 0 ? std::clamp(d / radius, 0.0, 1.0) : 0.0;
+  return costs.hi + (costs.lo - costs.hi) * t;
+}
+
+}  // namespace
+
+Graph make_random_geometric(int n, double radius, const CostParams& costs,
+                            std::uint64_t seed, int max_degree) {
+  MMD_REQUIRE(n >= 1, "need at least one point");
+  MMD_REQUIRE(radius > 0.0 && radius <= 1.0, "radius in (0,1]");
+  MMD_REQUIRE(max_degree >= 1, "max_degree >= 1");
+  Rng rng(seed);
+  const auto pts = random_points(n, rng);
+  Buckets buckets(pts, radius);
+
+  GraphBuilder builder(n);
+  attach_scaled_coords(builder, pts);
+  std::vector<std::pair<double, Vertex>> cand;
+  for (Vertex v = 0; v < n; ++v) {
+    cand.clear();
+    buckets.for_neighborhood(pts[static_cast<std::size_t>(v)], 1, [&](Vertex u) {
+      if (u <= v) return;
+      const double d = dist(pts[static_cast<std::size_t>(v)], pts[static_cast<std::size_t>(u)]);
+      if (d <= radius) cand.emplace_back(d, u);
+    });
+    std::sort(cand.begin(), cand.end());
+    const std::size_t limit = std::min<std::size_t>(cand.size(),
+                                                    static_cast<std::size_t>(max_degree));
+    for (std::size_t i = 0; i < limit; ++i)
+      builder.add_edge(v, cand[i].second,
+                       edge_cost_for(costs, cand[i].first, radius, rng));
+  }
+  return builder.build();
+}
+
+Graph make_knn(int n, int k, const CostParams& costs, std::uint64_t seed) {
+  MMD_REQUIRE(n >= 2 && k >= 1 && k < n, "knn needs 2 <= k+1 <= n");
+  Rng rng(seed);
+  const auto pts = random_points(n, rng);
+  // Expected k-NN radius ~ sqrt(k/n); bucket at that scale.
+  const double cell = std::sqrt(static_cast<double>(k) / n);
+  Buckets buckets(pts, cell);
+
+  GraphBuilder builder(n);
+  attach_scaled_coords(builder, pts);
+  // Collect directed k-NN picks, then deduplicate mutual pairs so that the
+  // builder's parallel-edge coalescing (cost summing) is never triggered.
+  struct Pick {
+    Vertex u, v;
+    double d;
+  };
+  std::vector<Pick> picks;
+  std::vector<std::pair<double, Vertex>> cand;
+  for (Vertex v = 0; v < n; ++v) {
+    int ring = 1;
+    while (true) {
+      cand.clear();
+      buckets.for_neighborhood(pts[static_cast<std::size_t>(v)], ring, [&](Vertex u) {
+        if (u == v) return;
+        cand.emplace_back(dist(pts[static_cast<std::size_t>(v)],
+                               pts[static_cast<std::size_t>(u)]),
+                          u);
+      });
+      if (static_cast<int>(cand.size()) >= k || ring > 64) break;
+      ++ring;
+    }
+    std::sort(cand.begin(), cand.end());
+    const std::size_t limit = std::min<std::size_t>(cand.size(), static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < limit; ++i) {
+      const Vertex u = cand[i].second;
+      picks.push_back({std::min(v, u), std::max(v, u), cand[i].first});
+    }
+  }
+  std::sort(picks.begin(), picks.end(), [](const Pick& a, const Pick& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    if (i > 0 && picks[i].u == picks[i - 1].u && picks[i].v == picks[i - 1].v)
+      continue;
+    builder.add_edge(picks[i].u, picks[i].v,
+                     edge_cost_for(costs, picks[i].d, cell, rng));
+  }
+  return builder.build();
+}
+
+}  // namespace mmd

@@ -1,0 +1,69 @@
+#include "gen/grid.hpp"
+
+#include <array>
+
+namespace mmd {
+
+Vertex grid_vertex_id(std::span<const int> dims, std::span<const int> point) {
+  MMD_REQUIRE(dims.size() == point.size(), "dimension mismatch");
+  long long id = 0;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    MMD_REQUIRE(point[i] >= 0 && point[i] < dims[i], "grid point out of range");
+    id = id * dims[i] + point[i];
+  }
+  return static_cast<Vertex>(id);
+}
+
+Graph make_grid(std::span<const int> dims, const CostParams& costs) {
+  MMD_REQUIRE(!dims.empty() && dims.size() <= 8, "grid dimension in [1,8]");
+  long long n = 1;
+  for (int d : dims) {
+    MMD_REQUIRE(d >= 1, "grid extent must be >= 1");
+    n *= d;
+    MMD_REQUIRE(n < (1LL << 31), "grid too large");
+  }
+  const int dim = static_cast<int>(dims.size());
+  GraphBuilder builder(static_cast<Vertex>(n));
+  Rng rng(costs.seed);
+
+  std::vector<int> point(static_cast<std::size_t>(dim), 0);
+  std::vector<std::int32_t> xyz(static_cast<std::size_t>(dim));
+  std::vector<double> mid(static_cast<std::size_t>(dim));
+  for (Vertex v = 0; v < static_cast<Vertex>(n); ++v) {
+    for (int i = 0; i < dim; ++i) xyz[static_cast<std::size_t>(i)] = point[static_cast<std::size_t>(i)];
+    builder.set_coords(v, xyz);
+    // Edges toward +1 in each axis.
+    for (int axis = 0; axis < dim; ++axis) {
+      if (point[static_cast<std::size_t>(axis)] + 1 >= dims[static_cast<std::size_t>(axis)]) continue;
+      point[static_cast<std::size_t>(axis)] += 1;
+      const Vertex u = grid_vertex_id(dims, point);
+      point[static_cast<std::size_t>(axis)] -= 1;
+      for (int i = 0; i < dim; ++i) {
+        const double span_i = std::max(1, dims[static_cast<std::size_t>(i)] - 1);
+        mid[static_cast<std::size_t>(i)] =
+            (point[static_cast<std::size_t>(i)] + (i == axis ? 0.5 : 0.0)) / span_i;
+      }
+      builder.add_edge(v, u, sample_cost(costs, mid, rng));
+    }
+    // Advance row-major counter (last axis fastest).
+    for (int i = dim - 1; i >= 0; --i) {
+      if (++point[static_cast<std::size_t>(i)] < dims[static_cast<std::size_t>(i)]) break;
+      point[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  return builder.build();
+}
+
+Graph make_grid_cube(int d, int side, const CostParams& costs) {
+  MMD_REQUIRE(d >= 1 && d <= 8, "grid dimension in [1,8]");
+  std::vector<int> dims(static_cast<std::size_t>(d), side);
+  return make_grid(dims, costs);
+}
+
+double grid_natural_p(int d) {
+  MMD_REQUIRE(d >= 1, "dimension must be positive");
+  if (d == 1) return 8.0;
+  return static_cast<double>(d) / (d - 1);
+}
+
+}  // namespace mmd

@@ -1,0 +1,30 @@
+// d-dimensional grid graphs (Section 6): V subset of Z^d, edges between
+// vertices at L1-distance 1.  The primary instance family of the paper:
+// Theorem 19 gives their separator theorem for arbitrary edge costs, and
+// Remark 36 places them among the families with p = d/(d-1) splittability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gen/costs.hpp"
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+/// Axis-aligned box grid with the given extents (row-major vertex ids),
+/// coordinates attached, edge costs drawn from `costs`.
+/// dims must be non-empty with positive extents.
+Graph make_grid(std::span<const int> dims, const CostParams& costs = {});
+
+/// Convenience: square/cubic grid of side `side` in `d` dimensions.
+Graph make_grid_cube(int d, int side, const CostParams& costs = {});
+
+/// The vertex id of the grid point with the given coordinates.
+Vertex grid_vertex_id(std::span<const int> dims, std::span<const int> point);
+
+/// Natural p for a d-dimensional grid: d/(d-1); returns a large finite
+/// stand-in (8) for d == 1 where every edge is a perfect separator.
+double grid_natural_p(int d);
+
+}  // namespace mmd

@@ -1,0 +1,72 @@
+#include "gen/mesh.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace mmd {
+
+namespace {
+Vertex node(int r, int c, int cols) { return static_cast<Vertex>(r) * cols + c; }
+}  // namespace
+
+Graph make_tri_mesh(int rows, int cols, const CostParams& costs) {
+  MMD_REQUIRE(rows >= 1 && cols >= 1, "mesh extents must be positive");
+  MMD_REQUIRE(static_cast<long long>(rows) * cols < (1LL << 31), "mesh too large");
+  GraphBuilder builder(static_cast<Vertex>(rows) * cols);
+  Rng rng(costs.seed);
+  std::array<double, 2> mid{};
+  auto cost_at = [&](double r, double c) {
+    mid[0] = rows > 1 ? r / (rows - 1) : 0.5;
+    mid[1] = cols > 1 ? c / (cols - 1) : 0.5;
+    return sample_cost(costs, mid, rng);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const Vertex v = node(r, c, cols);
+      const std::array<std::int32_t, 2> xy{r, c};
+      builder.set_coords(v, xy);
+      if (c + 1 < cols)
+        builder.add_edge(v, node(r, c + 1, cols), cost_at(r, c + 0.5));
+      if (r + 1 < rows)
+        builder.add_edge(v, node(r + 1, c, cols), cost_at(r + 0.5, c));
+      if (r + 1 < rows && c + 1 < cols)  // one diagonal per cell
+        builder.add_edge(v, node(r + 1, c + 1, cols), cost_at(r + 0.5, c + 0.5));
+    }
+  }
+  return builder.build();
+}
+
+ClimateInstance make_climate_instance(const ClimateParams& params) {
+  MMD_REQUIRE(params.rows >= 2 && params.cols >= 2, "climate grid too small");
+  MMD_REQUIRE(params.weight_amplitude >= 1.0 && params.storm_weight >= 1.0,
+              "amplitudes must be >= 1");
+
+  CostParams couplings;
+  couplings.model = CostModel::SmoothField;  // jet stream: smooth cost band
+  couplings.lo = params.coupling_lo;
+  couplings.hi = params.coupling_hi;
+  couplings.seed = params.seed;
+
+  ClimateInstance inst;
+  inst.graph = make_tri_mesh(params.rows, params.cols, couplings);
+
+  Rng rng(params.seed * 0x9e3779b97f4a7c15ULL + 1);
+  inst.weights.resize(static_cast<std::size_t>(inst.graph.num_vertices()));
+  for (Vertex v = 0; v < inst.graph.num_vertices(); ++v) {
+    const auto xy = inst.graph.coords(v);
+    const double lat = static_cast<double>(xy[0]) / (params.rows - 1);  // 0..1
+    const double lon = static_cast<double>(xy[1]) / (params.cols - 1);
+    // Insolation profile: heavier simulation near the "equator" (lat=0.5),
+    // modulated along longitude for the day/night terminator.
+    const double insolation =
+        std::sin(std::numbers::pi * lat) *
+        (0.75 + 0.25 * std::sin(2.0 * std::numbers::pi * lon));
+    double w = 1.0 + (params.weight_amplitude - 1.0) * insolation;
+    if (rng.uniform() < params.storm_fraction) w *= params.storm_weight;
+    inst.weights[static_cast<std::size_t>(v)] = w;
+  }
+  return inst;
+}
+
+}  // namespace mmd

@@ -1,0 +1,44 @@
+// Triangulated 2-D meshes and the "climate simulation" workload from the
+// paper's introduction: the surface is subdivided into triangular regions,
+// one job per region; weights model per-region simulation time (varying
+// with latitude / day-night / accuracy) and edge costs model the coupling
+// between neighboring regions.
+//
+// Structurally this is a planar well-shaped mesh, i.e. a family with a
+// 2-separator theorem (Remark 36), so p = 2 applies.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/costs.hpp"
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+/// Triangulated rows x cols lattice: lattice edges plus one diagonal per
+/// cell.  Coordinates attached (2-D); not a grid graph (diagonals), but a
+/// bounded-degree planar mesh.
+Graph make_tri_mesh(int rows, int cols, const CostParams& costs = {});
+
+/// Climate workload on a rows x cols triangulated "surface strip".
+struct ClimateParams {
+  int rows = 64;
+  int cols = 128;
+  double weight_amplitude = 4.0;  ///< day/density weight variation factor
+  double storm_fraction = 0.02;   ///< fraction of cells with storm hot-spots
+  double storm_weight = 12.0;     ///< weight multiplier inside storms
+  double coupling_lo = 1.0;       ///< calm-region coupling cost
+  double coupling_hi = 6.0;       ///< jet-stream coupling cost
+  std::uint64_t seed = 7;
+};
+
+struct ClimateInstance {
+  Graph graph;
+  std::vector<double> weights;  ///< per-job simulation time
+};
+
+/// Build the instance: weights follow a smooth insolation profile with
+/// random storm hot-spots; couplings are strong along a jet-stream band.
+ClimateInstance make_climate_instance(const ClimateParams& params = {});
+
+}  // namespace mmd

@@ -1,0 +1,59 @@
+#include "gen/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace mmd {
+
+std::vector<double> make_weights(Vertex n, const WeightParams& params) {
+  MMD_REQUIRE(n >= 0, "negative vertex count");
+  MMD_REQUIRE(params.lo >= 0.0 && params.hi >= params.lo, "need 0 <= lo <= hi");
+  std::vector<double> w(static_cast<std::size_t>(n), params.lo);
+  Rng rng(params.seed);
+  switch (params.model) {
+    case WeightModel::Unit:
+      std::fill(w.begin(), w.end(), std::max(params.lo, 1.0));
+      break;
+    case WeightModel::Uniform:
+      for (auto& x : w) x = rng.uniform(params.lo, params.hi);
+      break;
+    case WeightModel::Exponential:
+      for (auto& x : w) x = params.lo + rng.exponential(std::max(params.hi, 1e-12));
+      break;
+    case WeightModel::Zipf: {
+      // Random assignment of Zipf ranks to vertices.
+      std::vector<std::size_t> perm(w.size());
+      for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      for (std::size_t i = perm.size(); i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.next_below(i)]);
+      for (std::size_t r = 0; r < perm.size(); ++r)
+        w[perm[r]] = params.hi / std::pow(static_cast<double>(r + 1), params.shape);
+      break;
+    }
+    case WeightModel::Bimodal:
+      for (auto& x : w)
+        x = rng.uniform() < params.heavy_fraction ? params.hi : params.lo;
+      break;
+    case WeightModel::OneHeavy:
+      if (!w.empty())
+        w[rng.next_below(w.size())] = params.hi;
+      break;
+  }
+  return w;
+}
+
+const char* weight_model_name(WeightModel model) {
+  switch (model) {
+    case WeightModel::Unit: return "unit";
+    case WeightModel::Uniform: return "uniform";
+    case WeightModel::Exponential: return "exponential";
+    case WeightModel::Zipf: return "zipf";
+    case WeightModel::Bimodal: return "bimodal";
+    case WeightModel::OneHeavy: return "one-heavy";
+  }
+  return "?";
+}
+
+}  // namespace mmd

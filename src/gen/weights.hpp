@@ -1,0 +1,37 @@
+// Vertex-weight generators.  The decomposition cost (Definition 2) is a
+// supremum over *worst possible* weights, so the experiments sweep several
+// adversarially flavored families:
+//   Unit          w == 1
+//   Uniform       w ~ U[lo, hi]
+//   Exponential   heavy tail, mean `hi`
+//   Zipf          w_v proportional to 1/rank^s — few huge jobs
+//   Bimodal       mostly lo with a fraction at hi
+//   OneHeavy      a single vertex carries `hi`, everything else lo — the
+//                 regime where the (1-1/k)||w||_inf slack of Definition 1
+//                 is actually binding
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+enum class WeightModel { Unit, Uniform, Exponential, Zipf, Bimodal, OneHeavy };
+
+struct WeightParams {
+  WeightModel model = WeightModel::Unit;
+  double lo = 1.0;
+  double hi = 1.0;
+  double shape = 1.2;         ///< Zipf exponent s
+  double heavy_fraction = 0.05;  ///< Bimodal: fraction of heavy vertices
+  std::uint64_t seed = 3;
+};
+
+std::vector<double> make_weights(Vertex n, const WeightParams& params = {});
+
+/// Human-readable name for reports.
+const char* weight_model_name(WeightModel model);
+
+}  // namespace mmd

@@ -1,0 +1,36 @@
+// Heavy-edge-matching coarsening, shared by the multilevel baseline and
+// the fast multilevel mode of the core pipeline.
+//
+// One level contracts a maximal matching chosen greedily by edge cost
+// (random vertex visit order, heaviest free neighbor), summing vertex
+// weights and coalescing parallel edges by cost addition — the standard
+// METIS-style scheme.  Contraction can only cheapen cuts, so partitions
+// projected back never lose feasibility, only optimality (which the
+// per-level refinement recovers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+struct CoarseLevel {
+  Graph graph;
+  std::vector<double> weights;  ///< summed vertex weights
+  std::vector<Vertex> parent;   ///< finer vertex -> coarse vertex
+};
+
+/// One coarsening step; |coarse| >= |fine| / 2 always, with equality for a
+/// perfect matching.
+CoarseLevel coarsen_heavy_edge(const Graph& g, std::span<const double> w,
+                               std::uint64_t seed);
+
+/// Project a coarse coloring back to the finer level.
+Coloring project_coloring(const Coloring& coarse_chi,
+                          std::span<const Vertex> parent);
+
+}  // namespace mmd

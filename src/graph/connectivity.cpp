@@ -1,0 +1,91 @@
+#include "graph/connectivity.hpp"
+
+#include <deque>
+
+namespace mmd {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.id.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (out.id[static_cast<std::size_t>(s)] >= 0) continue;
+    out.id[static_cast<std::size_t>(s)] = out.count;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex u : g.neighbors(v)) {
+        if (out.id[static_cast<std::size_t>(u)] < 0) {
+          out.id[static_cast<std::size_t>(u)] = out.count;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+std::vector<Vertex> bfs_order(const Graph& g, std::span<const Vertex> w_list,
+                              const Membership& in_w, Vertex source) {
+  std::vector<Vertex> order;
+  order.reserve(w_list.size());
+  Membership visited(g.num_vertices());
+  visited.clear();
+  std::deque<Vertex> queue;
+
+  auto visit = [&](Vertex v) {
+    visited.add(v);
+    queue.push_back(v);
+  };
+  if (source >= 0) {
+    MMD_REQUIRE(in_w.contains(source), "bfs source not in subset");
+    visit(source);
+  }
+  std::size_t restart = 0;
+  while (order.size() < w_list.size()) {
+    if (queue.empty()) {
+      while (restart < w_list.size() && visited.contains(w_list[restart])) ++restart;
+      if (restart == w_list.size()) break;
+      visit(w_list[restart]);
+    }
+    const Vertex v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (Vertex u : g.neighbors(v))
+      if (in_w.contains(u) && !visited.contains(u)) visit(u);
+  }
+  return order;
+}
+
+std::vector<double> component_weights(const Graph& g,
+                                      std::span<const Vertex> w_list,
+                                      const Membership& in_w,
+                                      std::span<const double> w) {
+  std::vector<double> out;
+  Membership visited(g.num_vertices());
+  visited.clear();
+  std::vector<Vertex> stack;
+  for (Vertex s : w_list) {
+    if (visited.contains(s)) continue;
+    double total = 0.0;
+    visited.add(s);
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      total += w[static_cast<std::size_t>(v)];
+      for (Vertex u : g.neighbors(v)) {
+        if (in_w.contains(u) && !visited.contains(u)) {
+          visited.add(u);
+          stack.push_back(u);
+        }
+      }
+    }
+    out.push_back(total);
+  }
+  return out;
+}
+
+}  // namespace mmd

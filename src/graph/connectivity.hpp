@@ -1,0 +1,35 @@
+// Connectivity helpers: connected components and BFS orderings of vertex
+// subsets.  BFS orderings seed the prefix splitter for non-geometric
+// graphs and back the balanced-separator checks of Appendix A.3.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+/// Component id per vertex of the whole graph, ids in [0, count).
+struct Components {
+  std::vector<std::int32_t> id;
+  std::int32_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// BFS order of the vertices of W inside G[W].  Disconnected parts are
+/// traversed in sequence (restart at the first unvisited vertex of w_list).
+/// If `source` is >= 0 it must be in W and the walk starts there.
+/// `in_w` must represent exactly w_list.
+std::vector<Vertex> bfs_order(const Graph& g, std::span<const Vertex> w_list,
+                              const Membership& in_w, Vertex source = -1);
+
+/// Component sizes of G[W]; used to check the balanced-separator property
+/// "all components of G[V\S] have weight <= 2/3 ||w||_1" (Appendix A.3).
+std::vector<double> component_weights(const Graph& g,
+                                      std::span<const Vertex> w_list,
+                                      const Membership& in_w,
+                                      std::span<const double> w);
+
+}  // namespace mmd

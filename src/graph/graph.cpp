@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace mmd {
+
+bool Graph::is_grid_graph() const {
+  if (!has_coords()) return false;
+  for (EdgeId e = 0; e < m_; ++e) {
+    const auto [u, v] = endpoints(e);
+    long l1 = 0;
+    const auto cu = coords(u);
+    const auto cv = coords(v);
+    for (int i = 0; i < dim_; ++i) l1 += std::abs(static_cast<long>(cu[i]) - cv[i]);
+    if (l1 != 1) return false;
+  }
+  return true;
+}
+
+GraphBuilder::GraphBuilder(Vertex num_vertices) : n_(num_vertices) {
+  MMD_REQUIRE(num_vertices >= 0, "negative vertex count");
+  vweight_.assign(static_cast<std::size_t>(n_), 1.0);
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v, double cost) {
+  MMD_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "edge endpoint out of range");
+  MMD_REQUIRE(u != v, "self-loops are not allowed");
+  MMD_REQUIRE(cost >= 0.0 && std::isfinite(cost), "edge cost must be finite and >= 0");
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, cost});
+}
+
+void GraphBuilder::set_vertex_weight(Vertex v, double w) {
+  MMD_REQUIRE(v >= 0 && v < n_, "vertex id out of range");
+  MMD_REQUIRE(w >= 0.0 && std::isfinite(w), "vertex weight must be finite and >= 0");
+  vweight_[static_cast<std::size_t>(v)] = w;
+}
+
+void GraphBuilder::set_all_vertex_weights(std::span<const double> w) {
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == n_, "weight vector arity mismatch");
+  for (Vertex v = 0; v < n_; ++v) set_vertex_weight(v, w[static_cast<std::size_t>(v)]);
+}
+
+void GraphBuilder::set_coords(Vertex v, std::span<const std::int32_t> xyz) {
+  MMD_REQUIRE(v >= 0 && v < n_, "vertex id out of range");
+  MMD_REQUIRE(!xyz.empty() && xyz.size() <= 16, "coordinate dimension out of range");
+  if (dim_ == 0) {
+    dim_ = static_cast<int>(xyz.size());
+    coords_.assign(static_cast<std::size_t>(n_) * dim_, 0);
+    coords_set_.assign(static_cast<std::size_t>(n_), false);
+  }
+  MMD_REQUIRE(static_cast<int>(xyz.size()) == dim_, "inconsistent coordinate dimension");
+  std::copy(xyz.begin(), xyz.end(),
+            coords_.begin() + static_cast<std::size_t>(v) * dim_);
+  coords_set_[static_cast<std::size_t>(v)] = true;
+}
+
+Graph GraphBuilder::build() {
+  if (dim_ > 0) {
+    for (Vertex v = 0; v < n_; ++v)
+      MMD_REQUIRE(coords_set_[static_cast<std::size_t>(v)],
+                  "coordinates set for some but not all vertices");
+  }
+
+  // Coalesce duplicate edges by summing costs.
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& a, const RawEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<RawEdge> uniq;
+  uniq.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    if (!uniq.empty() && uniq.back().u == e.u && uniq.back().v == e.v) {
+      uniq.back().cost += e.cost;
+    } else {
+      uniq.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.n_ = n_;
+  g.m_ = static_cast<EdgeId>(uniq.size());
+  MMD_REQUIRE(uniq.size() < static_cast<std::size_t>(1) << 31, "too many edges");
+  g.vweight_ = std::move(vweight_);
+  g.dim_ = dim_;
+  g.coords_ = std::move(coords_);
+
+  g.etail_.resize(uniq.size());
+  g.ehead_.resize(uniq.size());
+  g.ecost_.resize(uniq.size());
+  std::vector<std::int64_t> deg(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::size_t i = 0; i < uniq.size(); ++i) {
+    g.etail_[i] = uniq[i].u;
+    g.ehead_[i] = uniq[i].v;
+    g.ecost_[i] = uniq[i].cost;
+    ++deg[static_cast<std::size_t>(uniq[i].u) + 1];
+    ++deg[static_cast<std::size_t>(uniq[i].v) + 1];
+  }
+  g.xadj_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Vertex v = 0; v < n_; ++v)
+    g.xadj_[static_cast<std::size_t>(v) + 1] =
+        g.xadj_[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v) + 1];
+  g.adj_.resize(static_cast<std::size_t>(2) * uniq.size());
+  g.eid_.resize(static_cast<std::size_t>(2) * uniq.size());
+  std::vector<std::int64_t> cursor(g.xadj_.begin(), g.xadj_.end() - 1);
+  for (std::size_t i = 0; i < uniq.size(); ++i) {
+    const auto e = static_cast<EdgeId>(i);
+    const Vertex u = uniq[i].u, v = uniq[i].v;
+    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)])] = v;
+    g.eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = e;
+    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)])] = u;
+    g.eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = e;
+  }
+
+  g.wdeg_.assign(static_cast<std::size_t>(n_), 0.0);
+  g.max_wdeg_ = 0.0;
+  g.max_deg_ = 0;
+  for (Vertex v = 0; v < n_; ++v) {
+    double s = 0.0;
+    for (EdgeId e : g.incident_edges(v)) s += g.ecost_[static_cast<std::size_t>(e)];
+    g.wdeg_[static_cast<std::size_t>(v)] = s;
+    g.max_wdeg_ = std::max(g.max_wdeg_, s);
+    g.max_deg_ = std::max(g.max_deg_, g.degree(v));
+  }
+
+  edges_.clear();
+  n_ = 0;
+  return g;
+}
+
+}  // namespace mmd

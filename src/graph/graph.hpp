@@ -1,0 +1,154 @@
+// Immutable weighted graph in compressed sparse row (CSR) form.
+//
+// This is the substrate every algorithm in the library operates on: a
+// finite undirected graph without self-loops or parallel edges (paper,
+// "Notation"), carrying
+//   * edge costs   c : E -> R+   (communication cost of a dependency)
+//   * vertex weights w : V -> R+ (processing time of a job)
+//   * optionally integer coordinates in Z^d, marking the graph as a
+//     d-dimensional grid graph (Section 6) or a geometric instance.
+//
+// The graph is immutable after construction (GraphBuilder); algorithms
+// address sub-instances as vertex subsets over the host graph instead of
+// copying, which keeps each recursion level linear time as Theorem 4's
+// running-time statement requires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mmd {
+
+using Vertex = std::int32_t;
+using EdgeId = std::int32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Vertex num_vertices() const { return n_; }
+  EdgeId num_edges() const { return m_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(n_) + m_; }
+
+  /// Neighbors of v (each undirected edge appears in both endpoint lists).
+  std::span<const Vertex> neighbors(Vertex v) const {
+    check_vertex(v);
+    return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+  }
+
+  /// Edge ids incident to v, aligned with neighbors(v).
+  std::span<const EdgeId> incident_edges(Vertex v) const {
+    check_vertex(v);
+    return {eid_.data() + xadj_[v], eid_.data() + xadj_[v + 1]};
+  }
+
+  int degree(Vertex v) const {
+    check_vertex(v);
+    return static_cast<int>(xadj_[v + 1] - xadj_[v]);
+  }
+
+  double edge_cost(EdgeId e) const {
+    check_edge(e);
+    return ecost_[static_cast<std::size_t>(e)];
+  }
+
+  /// The two endpoints of edge e, in construction order (u < v).
+  std::pair<Vertex, Vertex> endpoints(EdgeId e) const {
+    check_edge(e);
+    return {etail_[static_cast<std::size_t>(e)], ehead_[static_cast<std::size_t>(e)]};
+  }
+
+  double vertex_weight(Vertex v) const {
+    check_vertex(v);
+    return vweight_[static_cast<std::size_t>(v)];
+  }
+
+  std::span<const double> vertex_weights() const { return vweight_; }
+  std::span<const double> edge_costs() const { return ecost_; }
+
+  /// c-weighted degree c(delta(v)); Delta_c = max over v (Theorem 4).
+  double weighted_degree(Vertex v) const {
+    check_vertex(v);
+    return wdeg_[static_cast<std::size_t>(v)];
+  }
+  std::span<const double> weighted_degrees() const { return wdeg_; }
+  double max_weighted_degree() const { return max_wdeg_; }
+  int max_degree() const { return max_deg_; }
+
+  // --- coordinates (grid / geometric instances) -------------------------
+  bool has_coords() const { return dim_ > 0; }
+  int dim() const { return dim_; }
+  std::span<const std::int32_t> coords(Vertex v) const {
+    check_vertex(v);
+    MMD_REQUIRE(dim_ > 0, "graph has no coordinates");
+    return {coords_.data() + static_cast<std::size_t>(v) * dim_,
+            static_cast<std::size_t>(dim_)};
+  }
+
+  /// True iff coordinates are present and every edge joins vertices at
+  /// L1-distance exactly 1 (grid graph in the sense of Section 6).
+  bool is_grid_graph() const;
+
+ private:
+  friend class GraphBuilder;
+
+  void check_vertex(Vertex v) const {
+    MMD_REQUIRE(v >= 0 && v < n_, "vertex id out of range");
+  }
+  void check_edge(EdgeId e) const {
+    MMD_REQUIRE(e >= 0 && e < m_, "edge id out of range");
+  }
+
+  Vertex n_ = 0;
+  EdgeId m_ = 0;
+  std::vector<std::int64_t> xadj_;  // size n+1
+  std::vector<Vertex> adj_;         // size 2m
+  std::vector<EdgeId> eid_;         // size 2m
+  std::vector<Vertex> etail_, ehead_;  // size m each, tail < head
+  std::vector<double> ecost_;          // size m
+  std::vector<double> vweight_;        // size n
+  std::vector<double> wdeg_;           // size n, c(delta(v))
+  double max_wdeg_ = 0.0;
+  int max_deg_ = 0;
+  int dim_ = 0;
+  std::vector<std::int32_t> coords_;  // size n*dim
+};
+
+/// Incremental builder.  Duplicate edges are coalesced by summing their
+/// costs; self-loops are rejected (the paper's graphs have neither).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex num_vertices);
+
+  /// Add an undirected edge; cost must be non-negative.
+  void add_edge(Vertex u, Vertex v, double cost);
+
+  void set_vertex_weight(Vertex v, double w);
+  void set_all_vertex_weights(std::span<const double> w);
+
+  /// Attach d-dimensional integer coordinates (call once per vertex).
+  void set_coords(Vertex v, std::span<const std::int32_t> xyz);
+
+  Vertex num_vertices() const { return n_; }
+
+  /// Finalize.  The builder is left empty afterwards.
+  Graph build();
+
+ private:
+  Vertex n_ = 0;
+  int dim_ = 0;
+  struct RawEdge {
+    Vertex u, v;
+    double cost;
+  };
+  std::vector<RawEdge> edges_;
+  std::vector<double> vweight_;
+  std::vector<std::int32_t> coords_;
+  std::vector<bool> coords_set_;
+};
+
+}  // namespace mmd

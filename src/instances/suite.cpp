@@ -1,0 +1,91 @@
+#include "instances/suite.hpp"
+
+#include "gen/geometric.hpp"
+#include "gen/grid.hpp"
+#include "gen/mesh.hpp"
+
+namespace mmd {
+
+std::vector<NamedInstance> standard_suite(int scale) {
+  MMD_REQUIRE(scale == 0 || scale == 1, "scale in {0,1}");
+  const int s = scale == 0 ? 1 : 4;  // linear size multiplier
+  std::vector<NamedInstance> out;
+
+  {
+    NamedInstance inst;
+    inst.name = "grid2d-unit";
+    inst.graph = make_grid_cube(2, 24 * s);
+    inst.weights = make_weights(inst.graph.num_vertices(), {});
+    inst.p = 2.0;
+    out.push_back(std::move(inst));
+  }
+  {
+    NamedInstance inst;
+    inst.name = "grid2d-loguniform";
+    CostParams costs;
+    costs.model = CostModel::LogUniform;
+    costs.lo = 1.0;
+    costs.hi = 100.0;
+    inst.graph = make_grid_cube(2, 24 * s, costs);
+    WeightParams wp;
+    wp.model = WeightModel::Uniform;
+    wp.lo = 1.0;
+    wp.hi = 8.0;
+    inst.weights = make_weights(inst.graph.num_vertices(), wp);
+    inst.p = 2.0;
+    out.push_back(std::move(inst));
+  }
+  {
+    NamedInstance inst;
+    inst.name = "grid3d-smooth";
+    CostParams costs;
+    costs.model = CostModel::SmoothField;
+    costs.lo = 1.0;
+    costs.hi = 16.0;
+    inst.graph = make_grid_cube(3, 8 * s, costs);
+    WeightParams wp;
+    wp.model = WeightModel::Exponential;
+    wp.hi = 2.0;
+    inst.weights = make_weights(inst.graph.num_vertices(), wp);
+    inst.p = 1.5;
+    out.push_back(std::move(inst));
+  }
+  {
+    NamedInstance inst;
+    inst.name = "climate-mesh";
+    ClimateParams cp;
+    cp.rows = 16 * s;
+    cp.cols = 32 * s;
+    auto climate = make_climate_instance(cp);
+    inst.graph = std::move(climate.graph);
+    inst.weights = std::move(climate.weights);
+    inst.p = 2.0;
+    out.push_back(std::move(inst));
+  }
+  {
+    NamedInstance inst;
+    inst.name = "rgg";
+    inst.graph = make_random_geometric(600 * s * s, 0.06 / s);
+    WeightParams wp;
+    wp.model = WeightModel::Bimodal;
+    wp.lo = 1.0;
+    wp.hi = 10.0;
+    inst.weights = make_weights(inst.graph.num_vertices(), wp);
+    inst.p = 2.0;
+    out.push_back(std::move(inst));
+  }
+  {
+    NamedInstance inst;
+    inst.name = "knn";
+    inst.graph = make_knn(500 * s * s, 5);
+    WeightParams wp;
+    wp.model = WeightModel::Zipf;
+    wp.hi = 50.0;
+    inst.weights = make_weights(inst.graph.num_vertices(), wp);
+    inst.p = 2.0;
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace mmd

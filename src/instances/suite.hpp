@@ -1,0 +1,26 @@
+// A named instance suite shared by the benches and integration tests, so
+// every experiment runs over the same reproducible mix of graph families,
+// cost models and weight families.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/weights.hpp"
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+struct NamedInstance {
+  std::string name;
+  Graph graph;
+  std::vector<double> weights;
+  double p = 2.0;  ///< natural norm exponent for the family
+};
+
+/// The standard suite: 2-D/3-D grids (several cost models), a triangulated
+/// climate mesh, a random geometric graph and a kNN graph, each paired
+/// with a weight family.  `scale` in {0: tiny (tests), 1: bench}.
+std::vector<NamedInstance> standard_suite(int scale = 0);
+
+}  // namespace mmd

@@ -1,0 +1,38 @@
+#include "instances/tight.hpp"
+
+#include <cmath>
+
+#include "gen/grid.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+
+double grid_copy_separation_lower_bound(int side) {
+  MMD_REQUIRE(side >= 2, "grid side >= 2");
+  // Bollobas–Leader: |boundary(S)| >= min(2 sqrt(|S|), L) in [L]^2; for
+  // |S| >= L^2/3 the minimum is L (2 sqrt(L^2/3) = 2L/sqrt(3) > L).
+  return static_cast<double>(side);
+}
+
+TightInstance make_tight_grid_instance(int side, int k) {
+  MMD_REQUIRE(k >= 4, "tight instance needs k >= 4");
+  MMD_REQUIRE(side >= 4, "tight instance needs side >= 4");
+
+  TightInstance inst;
+  inst.k = k;
+  inst.side = side;
+  inst.copies = k / 4;
+
+  const Graph base = make_grid_cube(2, side);
+  inst.du = make_disjoint_copies(base, inst.copies);
+  inst.weights.assign(static_cast<std::size_t>(inst.du.graph.num_vertices()), 1.0);
+
+  inst.avg_boundary_lower_bound =
+      static_cast<double>(inst.copies) * grid_copy_separation_lower_bound(side) / k;
+  inst.upper_bound_skeleton =
+      norm_p(inst.du.graph.edge_costs(), 2.0) / std::sqrt(static_cast<double>(k)) +
+      norm_inf(inst.du.graph.edge_costs());
+  return inst;
+}
+
+}  // namespace mmd

@@ -1,0 +1,45 @@
+// Tight lower-bound instances (Theorem 5 / Lemma 40 / Corollary 41).
+//
+// G~ consists of floor(k/4) disjoint copies of a base graph whose
+// w-balanced separations are provably expensive.  Lemma 40: every
+// k-coloring of G~ with roughly balanced weights (max class <= 2 avg) has
+// average boundary cost Omega(b k^{-1/p} ||c~||_p / phi_l) — so the
+// Theorem 5 upper bound O(||c~||_p / k^{1/p} + ||c~||_inf) is tight up to
+// constants, even for the *average* boundary cost.
+//
+// Base graph here: the L x L unit-cost grid.  The Bollobas–Leader
+// edge-isoperimetric inequality for [L]^2 gives |boundary(S)| >=
+// min(2 sqrt(|S|), L), so any subset holding between 1/3 and 2/3 of the
+// vertices has at least L boundary edges; the greedy color-grouping
+// argument of Lemma 40 then forces >= L boundary cost *per copy*:
+//     avg boundary cost >= floor(k/4) * L / k >= L / 8   (k >= 4).
+// With p = 2, ||c~||_2 / k^{1/2} = sqrt(floor(k/4) * 2L(L-1)) / sqrt(k)
+// ~ L / sqrt(2), so the certified window [lower, upper] is a constant
+// factor wide, independent of both L and k — exactly Theorem 5.
+#pragma once
+
+#include "gen/copies.hpp"
+
+namespace mmd {
+
+struct TightInstance {
+  DisjointUnion du;            ///< the graph G~ (copies of the L x L grid)
+  std::vector<double> weights; ///< w~ (unit; ||w||_inf <= ||w||_1/4 holds)
+  int k = 0;
+  int copies = 0;
+  int side = 0;                ///< L
+  /// Provable lower bound on the avg (hence max) boundary cost of every
+  /// roughly balanced k-coloring: floor(k/4) * L / k.
+  double avg_boundary_lower_bound = 0.0;
+  /// Theorem 5 upper-bound skeleton ||c~||_2 / sqrt(k) + ||c~||_inf.
+  double upper_bound_skeleton = 0.0;
+};
+
+/// Build the instance.  Requires k >= 4 and L >= 4.
+TightInstance make_tight_grid_instance(int side, int k);
+
+/// The certified per-copy separation lower bound used above (min cut
+/// edges of any 1/3-2/3 vertex split of the L x L grid).
+double grid_copy_separation_lower_bound(int side);
+
+}  // namespace mmd

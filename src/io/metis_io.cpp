@@ -1,0 +1,131 @@
+#include "io/metis_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mmd {
+
+void write_metis(const Graph& g, std::span<const double> weights,
+                 std::ostream& os) {
+  MMD_REQUIRE(static_cast<Vertex>(weights.size()) == g.num_vertices(),
+              "weight arity mismatch");
+  os << "% minmax-decomp graph\n";
+  if (g.has_coords()) {
+    os << "%coords " << g.dim() << "\n";
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      os << "%c";
+      for (std::int32_t x : g.coords(v)) os << " " << x;
+      os << "\n";
+    }
+  }
+  os << g.num_vertices() << " " << g.num_edges() << " 011\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    os << weights[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      os << " " << (nbrs[i] + 1) << " " << g.edge_cost(eids[i]);
+    os << "\n";
+  }
+}
+
+void write_metis_file(const Graph& g, std::span<const double> weights,
+                      const std::string& path) {
+  std::ofstream os(path);
+  MMD_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  write_metis(g, weights, os);
+}
+
+GraphWithWeights read_metis(std::istream& is) {
+  std::string line;
+  int dim = 0;
+  std::vector<std::int32_t> coords;
+  // Comments and the optional coordinate block.
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '%') break;
+    if (line.rfind("%coords", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      ls >> dim;
+      MMD_REQUIRE(dim >= 1 && dim <= 16, "bad coordinate dimension");
+    } else if (line.rfind("%c", 0) == 0 && dim > 0) {
+      std::istringstream ls(line.substr(2));
+      std::int32_t x;
+      while (ls >> x) coords.push_back(x);
+    }
+  }
+  std::istringstream header(line);
+  long long n = 0, m = 0;
+  std::string fmt;
+  header >> n >> m >> fmt;
+  MMD_REQUIRE(n >= 0 && m >= 0, "bad METIS header");
+  MMD_REQUIRE(fmt == "011" || fmt.empty(), "unsupported METIS format flags");
+
+  GraphBuilder builder(static_cast<Vertex>(n));
+  std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
+  if (dim > 0) {
+    MMD_REQUIRE(coords.size() == static_cast<std::size_t>(n) * dim,
+                "coordinate block arity mismatch");
+    for (Vertex v = 0; v < static_cast<Vertex>(n); ++v)
+      builder.set_coords(
+          v, std::span<const std::int32_t>(
+                 coords.data() + static_cast<std::size_t>(v) * dim,
+                 static_cast<std::size_t>(dim)));
+  }
+
+  long long edges_seen = 0;
+  for (Vertex v = 0; v < static_cast<Vertex>(n); ++v) {
+    MMD_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                "unexpected end of METIS file");
+    std::istringstream ls(line);
+    ls >> weights[static_cast<std::size_t>(v)];
+    long long u;
+    double c;
+    while (ls >> u >> c) {
+      MMD_REQUIRE(u >= 1 && u <= n, "neighbor index out of range");
+      const auto nb = static_cast<Vertex>(u - 1);
+      if (nb > v) {  // each edge listed from both sides; add once
+        builder.add_edge(v, nb, c);
+        ++edges_seen;
+      }
+    }
+  }
+  MMD_REQUIRE(edges_seen == m, "edge count mismatch in METIS file");
+  return {builder.build(), std::move(weights)};
+}
+
+GraphWithWeights read_metis_file(const std::string& path) {
+  std::ifstream is(path);
+  MMD_REQUIRE(is.good(), "cannot open " + path + " for reading");
+  return read_metis(is);
+}
+
+void write_partition(const Coloring& chi, std::ostream& os) {
+  for (std::int32_t c : chi.color) os << c << "\n";
+}
+
+void write_partition_file(const Coloring& chi, const std::string& path) {
+  std::ofstream os(path);
+  MMD_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  write_partition(chi, os);
+}
+
+Coloring read_partition(std::istream& is, int k) {
+  MMD_REQUIRE(k >= 1, "k must be >= 1");
+  Coloring chi;
+  chi.k = k;
+  std::int32_t c;
+  while (is >> c) {
+    MMD_REQUIRE(c >= kUncolored && c < k, "color out of range in partition file");
+    chi.color.push_back(c);
+  }
+  return chi;
+}
+
+Coloring read_partition_file(const std::string& path, int k) {
+  std::ifstream is(path);
+  MMD_REQUIRE(is.good(), "cannot open " + path + " for reading");
+  return read_partition(is, k);
+}
+
+}  // namespace mmd

@@ -1,0 +1,40 @@
+// METIS-style text I/O for weighted graphs and colorings.
+//
+// Format (a float-valued superset of the METIS graph format):
+//   % comment lines
+//   n m 011          <- header: counts + "vertex weights, edge costs"
+//   w_v  u1 c1  u2 c2 ...   <- one line per vertex, neighbors 1-indexed
+// Colorings are stored one color per line (METIS partition file format).
+// Coordinates, when present, are stored in a companion "%coords d" comment
+// block so grid instances survive a round trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace mmd {
+
+struct GraphWithWeights {
+  Graph graph;
+  std::vector<double> weights;
+};
+
+void write_metis(const Graph& g, std::span<const double> weights,
+                 std::ostream& os);
+void write_metis_file(const Graph& g, std::span<const double> weights,
+                      const std::string& path);
+
+GraphWithWeights read_metis(std::istream& is);
+GraphWithWeights read_metis_file(const std::string& path);
+
+void write_partition(const Coloring& chi, std::ostream& os);
+void write_partition_file(const Coloring& chi, const std::string& path);
+
+Coloring read_partition(std::istream& is, int k);
+Coloring read_partition_file(const std::string& path, int k);
+
+}  // namespace mmd

@@ -1,0 +1,98 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+namespace mmd {
+
+namespace {
+
+struct Rgb {
+  unsigned char r, g, b;
+};
+
+/// Evenly spaced hues (golden-angle walk so adjacent class ids differ).
+Rgb class_color(int c, int k) {
+  if (c < 0) return {32, 32, 32};
+  const double hue = std::fmod(0.61803398875 * c, 1.0) * 6.0;
+  const double sat = 0.55 + 0.35 * ((c % 3) / 2.0);
+  (void)k;
+  const int i = static_cast<int>(hue);
+  const double f = hue - i;
+  const double v = 0.95, p = v * (1 - sat), q = v * (1 - sat * f),
+               t = v * (1 - sat * (1 - f));
+  double r = v, g = t, b = p;
+  switch (i % 6) {
+    case 0: r = v; g = t; b = p; break;
+    case 1: r = q; g = v; b = p; break;
+    case 2: r = p; g = v; b = t; break;
+    case 3: r = p; g = q; b = v; break;
+    case 4: r = t; g = p; b = v; break;
+    case 5: r = v; g = p; b = q; break;
+  }
+  return {static_cast<unsigned char>(r * 255),
+          static_cast<unsigned char>(g * 255),
+          static_cast<unsigned char>(b * 255)};
+}
+
+}  // namespace
+
+void write_coloring_ppm(const Graph& g, const Coloring& chi,
+                        const std::string& path, int cell) {
+  MMD_REQUIRE(g.has_coords() && g.dim() == 2, "PPM rendering needs 2-D coords");
+  MMD_REQUIRE(cell >= 1 && cell <= 64, "cell size in [1,64]");
+  MMD_REQUIRE(static_cast<Vertex>(chi.color.size()) == g.num_vertices(),
+              "coloring arity mismatch");
+
+  std::int32_t min_x = std::numeric_limits<std::int32_t>::max(), min_y = min_x;
+  std::int32_t max_x = std::numeric_limits<std::int32_t>::min(), max_y = max_x;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto c = g.coords(v);
+    min_x = std::min(min_x, c[0]);
+    max_x = std::max(max_x, c[0]);
+    min_y = std::min(min_y, c[1]);
+    max_y = std::max(max_y, c[1]);
+  }
+  MMD_REQUIRE(g.num_vertices() > 0, "empty graph");
+  const long long w = (static_cast<long long>(max_y) - min_y + 1) * cell;
+  const long long h = (static_cast<long long>(max_x) - min_x + 1) * cell;
+  MMD_REQUIRE(w * h <= 64LL * 1024 * 1024, "image too large");
+
+  std::vector<Rgb> img(static_cast<std::size_t>(w * h), Rgb{255, 255, 255});
+
+  // Mark boundary vertices to darken them.
+  std::vector<bool> on_boundary(static_cast<std::size_t>(g.num_vertices()), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [a, b] = g.endpoints(e);
+    if (chi[a] != chi[b]) {
+      on_boundary[static_cast<std::size_t>(a)] = true;
+      on_boundary[static_cast<std::size_t>(b)] = true;
+    }
+  }
+
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto c = g.coords(v);
+    Rgb rgb = class_color(chi[v], chi.k);
+    if (on_boundary[static_cast<std::size_t>(v)]) {
+      rgb.r = static_cast<unsigned char>(rgb.r * 2 / 3);
+      rgb.g = static_cast<unsigned char>(rgb.g * 2 / 3);
+      rgb.b = static_cast<unsigned char>(rgb.b * 2 / 3);
+    }
+    const long long px = (static_cast<long long>(c[1]) - min_y) * cell;
+    const long long py = (static_cast<long long>(c[0]) - min_x) * cell;
+    for (int dy = 0; dy < cell; ++dy)
+      for (int dx = 0; dx < cell; ++dx)
+        img[static_cast<std::size_t>((py + dy) * w + px + dx)] = rgb;
+  }
+
+  std::ofstream os(path, std::ios::binary);
+  MMD_REQUIRE(os.good(), "cannot open " + path + " for writing");
+  os << "P6\n" << w << " " << h << "\n255\n";
+  os.write(reinterpret_cast<const char*>(img.data()),
+           static_cast<std::streamsize>(img.size() * sizeof(Rgb)));
+}
+
+}  // namespace mmd

@@ -1,0 +1,17 @@
+// PPM image rendering of colorings on 2-D coordinate-bearing graphs —
+// quick visual sanity for grid / mesh partitions (one pixel block per
+// lattice cell, distinct hue per class, boundary vertices darkened).
+#pragma once
+
+#include <string>
+
+#include "graph/coloring.hpp"
+
+namespace mmd {
+
+/// Render to a binary PPM (P6).  Requires 2-D coordinates.  `cell` is the
+/// pixel size of one lattice unit.
+void write_coloring_ppm(const Graph& g, const Coloring& chi,
+                        const std::string& path, int cell = 4);
+
+}  // namespace mmd

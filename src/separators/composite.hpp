@@ -1,0 +1,52 @@
+// Best-of composite splitter.
+//
+// GridSplit carries the worst-case guarantee of Theorem 19, but on
+// unstructured (i.i.d.) costs plain coordinate sweeps with FM refinement
+// are often cheaper; neither dominates.  The composite runs every child on
+// the same request and keeps the cheapest boundary — the weight window is
+// a hard postcondition of every child, so the composite inherits it, and
+// its quality is the minimum of the children's (hence it keeps every
+// child's theoretical guarantee).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+class CompositeSplitter final : public ISplitter {
+ public:
+  explicit CompositeSplitter(std::vector<std::unique_ptr<ISplitter>> children)
+      : children_(std::move(children)) {
+    MMD_REQUIRE(!children_.empty(), "composite needs at least one child");
+  }
+
+  SplitResult split(const SplitRequest& request) override {
+    SplitResult best;
+    bool have = false;
+    for (const auto& child : children_) {
+      SplitResult cand = child->split(request);
+      if (!have || cand.boundary_cost < best.boundary_cost) {
+        best = std::move(cand);
+        have = true;
+      }
+    }
+    return best;
+  }
+
+  std::string name() const override {
+    std::string s = "best-of(";
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i) s += ",";
+      s += children_[i]->name();
+    }
+    return s + ")";
+  }
+
+ private:
+  std::vector<std::unique_ptr<ISplitter>> children_;
+};
+
+}  // namespace mmd

@@ -1,0 +1,78 @@
+#include "separators/fm_refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmd {
+
+int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
+                    std::span<const double> weights, double target,
+                    SplitResult& result, const FmOptions& options) {
+  Membership in_w(g.num_vertices());
+  in_w.assign(w_list);
+  Membership in_u(g.num_vertices());
+  in_u.assign(result.inside);
+
+  double total = 0.0, wmax = 0.0;
+  for (Vertex v : w_list) {
+    total += weights[static_cast<std::size_t>(v)];
+    wmax = std::max(wmax, weights[static_cast<std::size_t>(v)]);
+  }
+  const double t = std::clamp(target, 0.0, total);
+  const double window = wmax / 2.0 + 1e-12 * std::max(1.0, total);
+
+  double weight = result.weight;
+  double cut = result.boundary_cost;
+
+  // gain(v) = (cost toward the other side) - (cost toward own side), i.e.
+  // the cut reduction if v switches sides within G[W].
+  auto gain = [&](Vertex v) {
+    const bool inside = in_u.contains(v);
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    double toward_other = 0.0, toward_own = 0.0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Vertex u = nbrs[i];
+      if (!in_w.contains(u)) continue;
+      const double c = g.edge_cost(eids[i]);
+      if (in_u.contains(u) == inside)
+        toward_own += c;
+      else
+        toward_other += c;
+    }
+    return toward_other - toward_own;
+  };
+
+  int moves = 0;
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (Vertex v : w_list) {
+      const bool inside = in_u.contains(v);
+      const double wv = weights[static_cast<std::size_t>(v)];
+      const double new_weight = inside ? weight - wv : weight + wv;
+      if (std::abs(new_weight - t) > window) continue;
+      const double gv = gain(v);
+      if (gv <= options.min_gain) continue;
+      if (inside)
+        in_u.remove(v);
+      else
+        in_u.add(v);
+      weight = new_weight;
+      cut -= gv;
+      ++moves;
+      improved = true;
+    }
+    if (!improved) break;
+  }
+
+  if (moves > 0) {
+    result.inside.clear();
+    for (Vertex v : w_list)
+      if (in_u.contains(v)) result.inside.push_back(v);
+    result.weight = weight;
+    result.boundary_cost = std::max(cut, 0.0);
+  }
+  return moves;
+}
+
+}  // namespace mmd

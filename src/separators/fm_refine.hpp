@@ -1,0 +1,26 @@
+// Fiduccia–Mattheyses-style local refinement of a 2-way split.
+//
+// Starting from a feasible splitting set U of W, repeatedly move boundary
+// vertices across the cut when doing so lowers the boundary cost while
+// keeping the weight inside the hard window |w(U) - w*| <= ||w|W||_inf/2.
+// Moves are strictly improving (monotone objective, no hill climbing), so
+// the weight-window postcondition of the splitter contract is preserved by
+// construction and termination is immediate.
+#pragma once
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+struct FmOptions {
+  int max_passes = 3;       ///< full sweeps over the boundary
+  double min_gain = 0.0;    ///< required strict improvement per move
+};
+
+/// Refine `result` in place.  `result.inside` must be a subset of w_list.
+/// Returns the number of moves applied.
+int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
+                    std::span<const double> weights, double target,
+                    SplitResult& result, const FmOptions& options = {});
+
+}  // namespace mmd

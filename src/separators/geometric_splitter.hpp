@@ -1,0 +1,38 @@
+// Geometric splitter for coordinate-bearing instances (meshes, geometric
+// graphs) — the practical face of the Miller–Teng–Thurston–Vavasis
+// geometric separator theorems the paper cites in Remark 36: well-shaped
+// meshes and kNN graphs in R^d admit O(n^{1-1/d}) separators found by
+// random sphere/halfspace cuts.
+//
+// The splitter samples random directions (halfspace sweeps) and random
+// sphere centers (radial sweeps), orders the vertices along each, takes
+// the better-of-two prefix (hard ||w||_inf/2 window), keeps the cheapest
+// cut, and optionally FM-refines it.  Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+struct GeometricSplitterOptions {
+  int directions = 6;   ///< random halfspace sweeps
+  int spheres = 4;      ///< random radial sweeps
+  bool refine = true;
+  std::uint64_t seed = 41;
+};
+
+class GeometricSplitter final : public ISplitter {
+ public:
+  explicit GeometricSplitter(GeometricSplitterOptions options = {})
+      : options_(options) {}
+
+  SplitResult split(const SplitRequest& request) override;
+  std::string name() const override { return "geometric"; }
+
+ private:
+  GeometricSplitterOptions options_;
+};
+
+}  // namespace mmd

@@ -1,0 +1,260 @@
+#include "separators/grid_split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "separators/prefix_splitter.hpp"
+
+namespace mmd {
+
+namespace {
+
+struct LocalEdge {
+  std::int32_t a, b;  ///< indices into the level's vertex list
+  int axis;           ///< the coordinate axis the edge runs along
+  std::int32_t low;   ///< the smaller coordinate on that axis
+  double cost;
+};
+
+struct Level {
+  std::vector<Vertex> verts;
+  std::vector<LocalEdge> edges;
+};
+
+/// floor((x + alpha - 1) / l) with correct rounding for negative x.
+std::int64_t cell_floor(std::int64_t x, std::int64_t alpha, std::int64_t l) {
+  const std::int64_t t = x + alpha - 1;
+  return t >= 0 ? t / l : -(((-t) + l - 1) / l);
+}
+
+class GridSplitRec {
+ public:
+  GridSplitRec(const Graph& g, std::span<const double> weights)
+      : g_(g), weights_(weights), dim_(g.dim()) {}
+
+  int depth = 0;
+
+  std::vector<Vertex> run(Level level, double target) {
+    ++depth;
+    MMD_REQUIRE(depth <= 200, "GridSplit recursion too deep (bad costs?)");
+
+    double cost1 = 0.0;
+    for (const LocalEdge& e : level.edges) cost1 += e.cost;
+    // l beyond the coordinate extent is pointless (everything lands in one
+    // cell anyway) and would blow up the residue-bucket array, so cap it.
+    std::int64_t extent = 1;
+    for (int d = 0; d < dim_; ++d) {
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max(), hi = lo;
+      for (Vertex v : level.verts) {
+        const std::int64_t x = g_.coords(v)[static_cast<std::size_t>(d)];
+        lo = std::min(lo, x);
+        hi = hi == std::numeric_limits<std::int64_t>::max() ? x : std::max(hi, x);
+      }
+      if (!level.verts.empty()) extent = std::max(extent, hi - lo + 2);
+    }
+    const auto l = std::min(
+        extent, static_cast<std::int64_t>(std::max(
+                    1.0, std::ceil(std::pow(cost1 / dim_, 1.0 / dim_)))));
+    if (l <= 1 || level.edges.empty()) return trivial(level, target);
+
+    // Lemma 20: bucket each edge by the unique shift alpha in [1, l] whose
+    // coarsening cuts it; the cheapest bucket has cost <= ||c||_1 / l.
+    std::vector<double> bucket(static_cast<std::size_t>(l), 0.0);
+    for (const LocalEdge& e : level.edges) {
+      // The edge (x, x+1) on its axis is cut by phi_alpha iff
+      // (x + alpha) == 0 (mod l).
+      std::int64_t r = (-(static_cast<std::int64_t>(e.low))) % l;
+      if (r < 0) r += l;
+      bucket[static_cast<std::size_t>(r)] += e.cost;
+    }
+    // Residue r corresponds to alpha == r (mod l); map r = 0 to alpha = l.
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(bucket.begin(), bucket.end()) - bucket.begin());
+    const std::int64_t alpha = best == 0 ? l : static_cast<std::int64_t>(best);
+
+    // Group vertices by cell, ordered lexicographically by cell coords.
+    std::vector<std::int64_t> cell_key(level.verts.size() * static_cast<std::size_t>(dim_));
+    for (std::size_t i = 0; i < level.verts.size(); ++i) {
+      const auto c = g_.coords(level.verts[i]);
+      for (int d = 0; d < dim_; ++d)
+        cell_key[i * static_cast<std::size_t>(dim_) + static_cast<std::size_t>(d)] =
+            cell_floor(c[static_cast<std::size_t>(d)], alpha, l);
+    }
+    std::vector<std::int32_t> perm(level.verts.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    auto key_less = [&](std::int32_t x, std::int32_t y) {
+      const auto* kx = &cell_key[static_cast<std::size_t>(x) * dim_];
+      const auto* ky = &cell_key[static_cast<std::size_t>(y) * dim_];
+      for (int d = 0; d < dim_; ++d)
+        if (kx[d] != ky[d]) return kx[d] < ky[d];
+      return false;
+    };
+    std::sort(perm.begin(), perm.end(), key_less);
+    auto same_cell = [&](std::int32_t x, std::int32_t y) {
+      return !key_less(x, y) && !key_less(y, x);
+    };
+
+    // Walk cells in lexicographic order accumulating weight.
+    double total = 0.0;
+    for (Vertex v : level.verts) total += weights_[static_cast<std::size_t>(v)];
+    target = std::clamp(target, 0.0, total);
+
+    std::vector<Vertex> inside;
+    double acc = 0.0;
+    std::size_t i = 0;
+    std::size_t cell_begin = 0, cell_end = 0;
+    double cell_weight = 0.0;
+    bool have_straddle = false;
+    while (i < perm.size()) {
+      // Extent and weight of the next cell.
+      std::size_t j = i;
+      double wcell = 0.0;
+      while (j < perm.size() && same_cell(perm[i], perm[j])) {
+        wcell += weights_[static_cast<std::size_t>(level.verts[static_cast<std::size_t>(perm[j])])];
+        ++j;
+      }
+      if (acc + wcell <= target) {
+        for (std::size_t t = i; t < j; ++t)
+          inside.push_back(level.verts[static_cast<std::size_t>(perm[t])]);
+        acc += wcell;
+        i = j;
+        continue;
+      }
+      cell_begin = i;
+      cell_end = j;
+      cell_weight = wcell;
+      have_straddle = true;
+      break;
+    }
+    if (!have_straddle) return inside;  // target == total
+    (void)cell_weight;
+
+    // Recurse into the straddling cell with reduced costs.
+    Level child;
+    child.verts.reserve(cell_end - cell_begin);
+    std::vector<std::int32_t> local_id(level.verts.size(), -1);
+    for (std::size_t t = cell_begin; t < cell_end; ++t) {
+      local_id[static_cast<std::size_t>(perm[t])] =
+          static_cast<std::int32_t>(child.verts.size());
+      child.verts.push_back(level.verts[static_cast<std::size_t>(perm[t])]);
+    }
+    for (const LocalEdge& e : level.edges) {
+      const std::int32_t a = local_id[static_cast<std::size_t>(e.a)];
+      const std::int32_t b = local_id[static_cast<std::size_t>(e.b)];
+      if (a < 0 || b < 0) continue;
+      if (e.cost <= 1.0) continue;  // dropped edges
+      child.edges.push_back({a, b, e.axis, e.low, (e.cost - 1.0) / 2.0});
+    }
+    const std::vector<Vertex> inner = run(std::move(child), target - acc);
+    inside.insert(inside.end(), inner.begin(), inner.end());
+    return inside;
+  }
+
+ private:
+  /// l == 1: lexicographic vertex order, better-of-two prefix (monotone by
+  /// Lemma 22).
+  std::vector<Vertex> trivial(const Level& level, double target) const {
+    std::vector<Vertex> order = level.verts;
+    std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+      const auto ca = g_.coords(a);
+      const auto cb = g_.coords(b);
+      for (int d = 0; d < dim_; ++d)
+        if (ca[static_cast<std::size_t>(d)] != cb[static_cast<std::size_t>(d)])
+          return ca[static_cast<std::size_t>(d)] < cb[static_cast<std::size_t>(d)];
+      return a < b;
+    });
+    const std::size_t len = best_prefix(order, weights_, target);
+    order.resize(len);
+    return order;
+  }
+
+  const Graph& g_;
+  std::span<const double> weights_;
+  int dim_;
+};
+
+}  // namespace
+
+SplitResult GridSplitter::split(const SplitRequest& request) {
+  MMD_REQUIRE(request.g != nullptr, "null graph in split request");
+  const Graph& g = *request.g;
+  MMD_REQUIRE(g.has_coords(), "GridSplitter needs coordinates");
+  if (strict_) MMD_REQUIRE(g.is_grid_graph(), "GridSplitter(strict) needs a grid graph");
+
+  Membership in_w(g.num_vertices());
+  in_w.assign(request.w_list);
+
+  // Gather the induced edges and normalize so the minimum positive cost is
+  // 1 (the paper's ||1/c||_inf = 1 normalization).
+  Level top;
+  top.verts.assign(request.w_list.begin(), request.w_list.end());
+  std::vector<std::int32_t> local_id(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < top.verts.size(); ++i)
+    local_id[static_cast<std::size_t>(top.verts[i])] = static_cast<std::int32_t>(i);
+
+  double min_pos = 0.0;
+  for (std::size_t i = 0; i < top.verts.size(); ++i) {
+    const Vertex v = top.verts[i];
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      const Vertex u = nbrs[a];
+      if (u <= v || !in_w.contains(u)) continue;
+      // Determine the axis and low coordinate (grid edges differ in one
+      // axis by 1; for non-grid geometric graphs use the dominant axis).
+      const auto cv = g.coords(v);
+      const auto cu = g.coords(u);
+      int axis = 0;
+      std::int32_t diff = 0;
+      for (int d = 0; d < g.dim(); ++d) {
+        const std::int32_t dd = cu[static_cast<std::size_t>(d)] - cv[static_cast<std::size_t>(d)];
+        if (std::abs(dd) > std::abs(diff)) {
+          diff = dd;
+          axis = d;
+        }
+      }
+      const std::int32_t low = std::min(cv[static_cast<std::size_t>(axis)],
+                                        cu[static_cast<std::size_t>(axis)]);
+      const double c = g.edge_cost(eids[a]);
+      if (c > 0.0) min_pos = min_pos == 0.0 ? c : std::min(min_pos, c);
+      top.edges.push_back({local_id[static_cast<std::size_t>(v)],
+                           local_id[static_cast<std::size_t>(u)], axis, low, c});
+    }
+  }
+  const double scale = min_pos > 0.0 ? 1.0 / min_pos : 1.0;
+  for (LocalEdge& e : top.edges) e.cost *= scale;
+
+  GridSplitRec rec(g, request.weights);
+  std::vector<Vertex> inside = rec.run(std::move(top), request.target);
+  last_depth_ = rec.depth;
+
+  return evaluate_split(g, request.w_list, request.weights, inside);
+}
+
+bool is_monotone_set(const Graph& g, std::span<const Vertex> w_list,
+                     std::span<const Vertex> u_list) {
+  MMD_REQUIRE(g.has_coords(), "monotone check needs coordinates");
+  Membership in_u(g.num_vertices());
+  in_u.assign(u_list);
+  const int dim = g.dim();
+  for (Vertex y : u_list) {
+    const auto cy = g.coords(y);
+    for (Vertex x : w_list) {
+      if (in_u.contains(x)) continue;
+      const auto cx = g.coords(x);
+      bool dominated = true;
+      for (int d = 0; d < dim; ++d) {
+        if (cx[static_cast<std::size_t>(d)] > cy[static_cast<std::size_t>(d)]) {
+          dominated = false;
+          break;
+        }
+      }
+      if (dominated) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmd

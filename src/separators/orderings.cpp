@@ -1,0 +1,95 @@
+#include "separators/orderings.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/connectivity.hpp"
+
+namespace mmd {
+
+std::vector<Vertex> pseudo_peripheral_bfs_order(const Graph& g,
+                                                std::span<const Vertex> w_list,
+                                                const Membership& in_w) {
+  if (w_list.empty()) return {};
+  // Double sweep: BFS from an arbitrary vertex, restart from the last
+  // vertex reached (a pseudo-peripheral vertex of its component).
+  const auto first = bfs_order(g, w_list, in_w, w_list.front());
+  MMD_ASSERT(first.size() == w_list.size(), "bfs must cover subset");
+  return bfs_order(g, w_list, in_w, first.back());
+}
+
+namespace {
+int coord_compare(const Graph& g, Vertex a, Vertex b) {
+  const auto ca = g.coords(a);
+  const auto cb = g.coords(b);
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i] != cb[i]) return ca[i] < cb[i] ? -1 : 1;
+  }
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+}  // namespace
+
+std::vector<Vertex> lexicographic_order(const Graph& g,
+                                        std::span<const Vertex> w_list) {
+  MMD_REQUIRE(g.has_coords(), "lexicographic order needs coordinates");
+  std::vector<Vertex> order(w_list.begin(), w_list.end());
+  std::sort(order.begin(), order.end(),
+            [&](Vertex a, Vertex b) { return coord_compare(g, a, b) < 0; });
+  return order;
+}
+
+std::vector<Vertex> axis_order(const Graph& g, std::span<const Vertex> w_list,
+                               int axis) {
+  MMD_REQUIRE(g.has_coords(), "axis order needs coordinates");
+  MMD_REQUIRE(axis >= 0 && axis < g.dim(), "axis out of range");
+  std::vector<Vertex> order(w_list.begin(), w_list.end());
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    const auto ca = g.coords(a);
+    const auto cb = g.coords(b);
+    if (ca[static_cast<std::size_t>(axis)] != cb[static_cast<std::size_t>(axis)])
+      return ca[static_cast<std::size_t>(axis)] < cb[static_cast<std::size_t>(axis)];
+    return coord_compare(g, a, b) < 0;
+  });
+  return order;
+}
+
+std::vector<Vertex> morton_order(const Graph& g, std::span<const Vertex> w_list) {
+  MMD_REQUIRE(g.has_coords(), "morton order needs coordinates");
+  const int dim = g.dim();
+  // Offset coordinates to be non-negative, then compare by interleaved
+  // bits without materializing the (dim*32)-bit keys: the classic
+  // "most significant differing dimension" trick.
+  std::vector<std::int64_t> offset(static_cast<std::size_t>(dim),
+                                   std::numeric_limits<std::int64_t>::max());
+  for (Vertex v : w_list) {
+    const auto c = g.coords(v);
+    for (int i = 0; i < dim; ++i)
+      offset[static_cast<std::size_t>(i)] =
+          std::min(offset[static_cast<std::size_t>(i)], static_cast<std::int64_t>(c[i]));
+  }
+  auto shifted = [&](Vertex v, int i) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(g.coords(v)[static_cast<std::size_t>(i)]) -
+        offset[static_cast<std::size_t>(i)]);
+  };
+  auto less_msb = [](std::uint64_t a, std::uint64_t b) {
+    return a < b && a < (a ^ b);
+  };
+  std::vector<Vertex> order(w_list.begin(), w_list.end());
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    int best_dim = 0;
+    std::uint64_t best_xor = 0;
+    for (int i = 0; i < dim; ++i) {
+      const std::uint64_t x = shifted(a, i) ^ shifted(b, i);
+      if (less_msb(best_xor, x)) {
+        best_xor = x;
+        best_dim = i;
+      }
+    }
+    if (best_xor == 0) return a < b;
+    return shifted(a, best_dim) < shifted(b, best_dim);
+  });
+  return order;
+}
+
+}  // namespace mmd

@@ -1,0 +1,35 @@
+// Vertex orderings that seed the prefix splitter.  A prefix of any
+// ordering yields the exact ||w||_inf/2 splitting window (better-of-two-
+// prefixes rule); the ordering determines the boundary *cost*:
+//   * BFS / double-ended BFS orders approximate geodesic sweeps,
+//   * lexicographic and per-axis coordinate orders sweep hyperplanes
+//     (optimal shape for grids, Lemma 22's monotone prefixes),
+//   * Morton (Z-curve) order gives cache-oblivious locality for general
+//     geometric instances.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+/// BFS order from a pseudo-peripheral source of G[W] (double sweep).
+std::vector<Vertex> pseudo_peripheral_bfs_order(const Graph& g,
+                                                std::span<const Vertex> w_list,
+                                                const Membership& in_w);
+
+/// Sort W by coordinates lexicographically (requires coords).
+std::vector<Vertex> lexicographic_order(const Graph& g,
+                                        std::span<const Vertex> w_list);
+
+/// Sort W by a single coordinate axis (ties by the remaining axes).
+std::vector<Vertex> axis_order(const Graph& g, std::span<const Vertex> w_list,
+                               int axis);
+
+/// Sort W along the Morton (Z-) curve (requires coords).
+std::vector<Vertex> morton_order(const Graph& g, std::span<const Vertex> w_list);
+
+}  // namespace mmd

@@ -1,0 +1,78 @@
+#include "separators/prefix_splitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "separators/fm_refine.hpp"
+#include "separators/orderings.hpp"
+
+namespace mmd {
+
+std::size_t best_prefix(std::span<const Vertex> order,
+                        std::span<const double> weights, double target) {
+  double total = 0.0;
+  for (Vertex v : order) total += weights[static_cast<std::size_t>(v)];
+  target = std::clamp(target, 0.0, total);
+
+  double acc = 0.0;
+  std::size_t i = 0;
+  // Find the crossing prefix: acc <= target, acc + w_next > target.
+  while (i < order.size()) {
+    const double w = weights[static_cast<std::size_t>(order[i])];
+    if (acc + w > target) break;
+    acc += w;
+    ++i;
+  }
+  if (i == order.size()) return i;  // target == total
+  // Better of the two prefixes around the crossing:
+  const double w = weights[static_cast<std::size_t>(order[i])];
+  const double below = target - acc;      // error of prefix of length i
+  const double above = (acc + w) - target;  // error of prefix of length i+1
+  return below <= above ? i : i + 1;
+}
+
+SplitResult PrefixSplitter::split(const SplitRequest& request) {
+  MMD_REQUIRE(request.g != nullptr, "null graph in split request");
+  const Graph& g = *request.g;
+  Membership in_w(g.num_vertices());
+  in_w.assign(request.w_list);
+
+  std::vector<std::vector<Vertex>> orders;
+  if (options_.use_bfs)
+    orders.push_back(pseudo_peripheral_bfs_order(g, request.w_list, in_w));
+  if (options_.use_coordinate_sweeps && g.has_coords()) {
+    orders.push_back(lexicographic_order(g, request.w_list));
+    for (int axis = 1; axis < g.dim(); ++axis)
+      orders.push_back(axis_order(g, request.w_list, axis));
+    if (g.dim() >= 2) orders.push_back(morton_order(g, request.w_list));
+  }
+  if (orders.empty())  // coordinate-free fallback: id order
+    orders.emplace_back(request.w_list.begin(), request.w_list.end());
+
+  SplitResult best;
+  bool have_best = false;
+  Membership in_u(g.num_vertices());
+  for (const auto& order : orders) {
+    const std::size_t len = best_prefix(order, request.weights, request.target);
+    const std::span<const Vertex> prefix(order.data(), len);
+    in_u.assign(prefix);
+    SplitResult cand;
+    cand.inside.assign(prefix.begin(), prefix.end());
+    cand.weight = set_measure(request.weights, prefix);
+    cand.boundary_cost = boundary_cost_within(g, prefix, in_u, in_w);
+    if (!have_best || cand.boundary_cost < best.boundary_cost) {
+      best = std::move(cand);
+      have_best = true;
+    }
+  }
+
+  if (options_.refine && !best.inside.empty() &&
+      best.inside.size() < request.w_list.size()) {
+    FmOptions fm;
+    fm.max_passes = options_.fm_max_passes;
+    fm_refine_split(g, request.w_list, request.weights, request.target, best, fm);
+  }
+  return best;
+}
+
+}  // namespace mmd

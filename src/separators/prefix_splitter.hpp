@@ -1,0 +1,42 @@
+// Prefix splitter: the library's general-purpose splitting-set engine.
+//
+// Given an ordering v_1, ..., v_|W| of W, every prefix-sum crossing of the
+// target admits one of two prefixes within ||w||_inf/2 of the target
+// (better-of-two rule), so *any* ordering yields the hard weight window of
+// Definition 3.  Quality comes from trying several sweep orderings (BFS
+// from a pseudo-peripheral vertex, lexicographic / per-axis / Morton when
+// coordinates exist), keeping the cheapest boundary, and optionally
+// improving it with Fiduccia–Mattheyses-style local moves that respect the
+// window (see fm_refine.hpp).
+#pragma once
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+struct PrefixSplitterOptions {
+  bool use_bfs = true;
+  bool use_coordinate_sweeps = true;  ///< lex + per-axis + Morton if coords
+  bool refine = true;                 ///< FM local refinement pass
+  int fm_max_passes = 3;
+};
+
+class PrefixSplitter final : public ISplitter {
+ public:
+  explicit PrefixSplitter(PrefixSplitterOptions options = {})
+      : options_(options) {}
+
+  SplitResult split(const SplitRequest& request) override;
+  std::string name() const override { return "prefix"; }
+
+ private:
+  PrefixSplitterOptions options_;
+};
+
+/// Split a single ordering by the better-of-two-prefixes rule; exposed for
+/// tests and for GridSplit's trivial level.
+/// Returns the number of vertices in the chosen prefix.
+std::size_t best_prefix(std::span<const Vertex> order,
+                        std::span<const double> weights, double target);
+
+}  // namespace mmd

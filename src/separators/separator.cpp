@@ -1,0 +1,180 @@
+#include "separators/separator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "separators/prefix_splitter.hpp"
+
+namespace mmd {
+
+std::vector<double> vertex_costs_from_edges(const Graph& g) {
+  return {g.weighted_degrees().begin(), g.weighted_degrees().end()};
+}
+
+double local_fluctuation(const Graph& g) {
+  double worst = 0.0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto eids = g.incident_edges(v);
+    if (eids.empty()) continue;
+    double min_c = std::numeric_limits<double>::infinity();
+    for (EdgeId e : eids) min_c = std::min(min_c, g.edge_cost(e));
+    if (min_c <= 0.0) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, g.weighted_degree(v) / min_c);
+  }
+  return worst;
+}
+
+Separation balanced_separation(const Graph& g, std::span<const Vertex> w_list,
+                               std::span<const double> weights,
+                               ISplitter& splitter) {
+  Separation sep;
+  const double total = set_measure(weights, w_list);
+
+  // Degenerate case: one vertex heavier than a third of the total.
+  for (Vertex v : w_list) {
+    if (weights[static_cast<std::size_t>(v)] > total / 3.0) {
+      sep.separator.push_back(v);
+      sep.separator_cost = g.weighted_degree(v);
+      for (Vertex u : w_list)
+        if (u != v) sep.b_only.push_back(u);
+      return sep;
+    }
+  }
+
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = w_list;
+  req.weights = weights;
+  req.target = total / 2.0;
+  SplitResult u = splitter.split(req);
+
+  Membership in_w(g.num_vertices());
+  in_w.assign(w_list);
+  Membership in_u(g.num_vertices());
+  in_u.assign(u.inside);
+
+  // X = the vertices of W \ U reachable from U by one edge.
+  Membership in_x(g.num_vertices());
+  in_x.clear();
+  sep.a_only = std::move(u.inside);
+  for (Vertex v : sep.a_only) {
+    for (Vertex nb : g.neighbors(v)) {
+      if (in_w.contains(nb) && !in_u.contains(nb) && !in_x.contains(nb)) {
+        in_x.add(nb);
+        sep.separator.push_back(nb);
+        sep.separator_cost += g.weighted_degree(nb);
+      }
+    }
+  }
+  for (Vertex v : w_list)
+    if (!in_u.contains(v) && !in_x.contains(v)) sep.b_only.push_back(v);
+  return sep;
+}
+
+bool is_balanced_separation(const Graph& g, std::span<const Vertex> w_list,
+                            std::span<const double> weights,
+                            const Separation& sep) {
+  // Structure: the three parts partition W ...
+  if (sep.a_only.size() + sep.separator.size() + sep.b_only.size() != w_list.size())
+    return false;
+  Membership in_w(g.num_vertices());
+  in_w.assign(w_list);
+  Membership in_a(g.num_vertices());
+  in_a.assign(sep.a_only);
+  Membership in_b(g.num_vertices());
+  in_b.assign(sep.b_only);
+  for (Vertex v : sep.a_only)
+    if (!in_w.contains(v)) return false;
+  for (Vertex v : sep.b_only)
+    if (!in_w.contains(v) || in_a.contains(v)) return false;
+  for (Vertex v : sep.separator)
+    if (!in_w.contains(v) || in_a.contains(v) || in_b.contains(v)) return false;
+  // ... with no edge joining A\B and B\A ...
+  for (Vertex v : sep.a_only)
+    for (Vertex u : g.neighbors(v))
+      if (in_b.contains(u)) return false;
+  // ... and both open sides at most 2/3 of the weight.
+  const double total = set_measure(weights, w_list);
+  const double slack = 1e-9 * std::max(1.0, total);
+  return set_measure(weights, sep.a_only) <= 2.0 / 3.0 * total + slack &&
+         set_measure(weights, sep.b_only) <= 2.0 / 3.0 * total + slack;
+}
+
+SplitResult split_via_separations(const Graph& g, std::span<const Vertex> w_list,
+                                  std::span<const double> weights, double target,
+                                  double p, const SeparationOracle& oracle) {
+  MMD_REQUIRE(p > 1.0, "split_via_separations needs p > 1");
+  const auto tau = vertex_costs_from_edges(g);
+  std::vector<double> pi(tau.size());
+  for (std::size_t i = 0; i < tau.size(); ++i) pi[i] = std::pow(tau[i], p);
+
+  const double wmax = set_measure_max(weights, w_list);
+  double total = set_measure(weights, w_list);
+  target = std::clamp(target, 0.0, total);
+
+  std::vector<Vertex> left;  // accumulated splitting set
+  std::vector<Vertex> cur(w_list.begin(), w_list.end());
+  double t = target;
+
+  Membership scratch(g.num_vertices());
+  int guard = 0;
+  while (true) {
+    MMD_REQUIRE(++guard <= 4 * static_cast<int>(w_list.size()) + 64,
+                "split_via_separations failed to converge");
+    // Edgeless (pi == 0) base case: plain prefix by the better-of-two rule.
+    const double pi_cur = set_measure(pi, cur);
+    if (cur.empty() || pi_cur == 0.0) {
+      const std::size_t len = best_prefix(cur, weights, t);
+      left.insert(left.end(), cur.begin(), cur.begin() + static_cast<std::ptrdiff_t>(len));
+      break;
+    }
+
+    Separation sep = oracle(cur, pi);
+    // Degenerate oracle output (can happen on disconnected pieces): fall
+    // back to a prefix on the remaining vertices.
+    if (sep.a_only.size() + sep.separator.size() == 0 ||
+        sep.b_only.size() + sep.separator.size() == 0) {
+      const std::size_t len = best_prefix(cur, weights, t);
+      left.insert(left.end(), cur.begin(), cur.begin() + static_cast<std::ptrdiff_t>(len));
+      break;
+    }
+
+    const double w_a = set_measure(weights, sep.a_only);
+    const double w_sep = set_measure(weights, sep.separator);
+    if (t - wmax / 2.0 < w_a) {
+      // Recurse into A \ B.
+      cur = std::move(sep.a_only);
+      continue;
+    }
+    if (w_a + w_sep >= t - wmax / 2.0) {
+      // A \ B fits below the window; top up with separator vertices.
+      left.insert(left.end(), sep.a_only.begin(), sep.a_only.end());
+      double acc = w_a;
+      for (Vertex s : sep.separator) {
+        if (acc >= t - wmax / 2.0) break;
+        left.push_back(s);
+        acc += weights[static_cast<std::size_t>(s)];
+      }
+      break;
+    }
+    // All of A is still too light: take it and recurse into B \ A.
+    left.insert(left.end(), sep.a_only.begin(), sep.a_only.end());
+    left.insert(left.end(), sep.separator.begin(), sep.separator.end());
+    t -= w_a + w_sep;
+    cur = std::move(sep.b_only);
+  }
+  (void)scratch;
+  return evaluate_split(g, w_list, weights, left);
+}
+
+SplitResult SeparationSplitter::split(const SplitRequest& request) {
+  const Graph& g = *request.g;
+  SeparationOracle oracle = [&](std::span<const Vertex> w_list,
+                                std::span<const double> weights) {
+    return balanced_separation(g, w_list, weights, *inner_);
+  };
+  return split_via_separations(g, request.w_list, request.weights,
+                               request.target, p_, oracle);
+}
+
+}  // namespace mmd

@@ -1,0 +1,73 @@
+// Balanced separations (Definition 34) and the splittability/separability
+// conversions of Lemma 37 (Appendix A.3).
+//
+// A separation (A, B) of G[W] covers W with no edge joining A\B and B\A;
+// it is w-balanced when both w(A\B) and w(B\A) are at most (2/3) ||w||_1.
+// Vertex costs tau(v) = c(delta(v)) translate between edge-cost cuts and
+// vertex-cost separators:
+//   Lemma 37.1: a splitting set U yields the separation
+//               (U + N(U), W \ U) of cost tau(N(U) boundary layer),
+//   Lemma 37.2 (procedure Split): a separation oracle yields splitting
+//               sets, recursing into the heavier side with pi-balanced
+//               separations, pi(v) = tau(v)^p.
+#pragma once
+
+#include <functional>
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+struct Separation {
+  std::vector<Vertex> a_only;     ///< A \ B
+  std::vector<Vertex> separator;  ///< A cap B
+  std::vector<Vertex> b_only;     ///< B \ A
+  double separator_cost = 0.0;    ///< tau(A cap B)
+};
+
+/// tau(v) = c(delta(v)) for every vertex (the natural vertex costs).
+std::vector<double> vertex_costs_from_edges(const Graph& g);
+
+/// Local fluctuation phi_l(c) = max over vertices of tau(v) / min incident
+/// cost; part of the paper's well-behavedness assumption (infinite if some
+/// vertex has a zero-cost edge, 0 for edgeless graphs).
+double local_fluctuation(const Graph& g);
+
+/// Lemma 37.1: build a w-balanced separation of G[W] from a splitter.
+/// If some vertex carries more than a third of the weight it becomes a
+/// singleton separator (the paper's degenerate case).
+Separation balanced_separation(const Graph& g, std::span<const Vertex> w_list,
+                               std::span<const double> weights,
+                               ISplitter& splitter);
+
+/// True iff (A,B) is a separation of G[W] (structure check) and balanced
+/// w.r.t. the weights.
+bool is_balanced_separation(const Graph& g, std::span<const Vertex> w_list,
+                            std::span<const double> weights,
+                            const Separation& sep);
+
+/// A separation oracle: must return a `weights`-balanced separation of
+/// G[W]; `weights` here is the measure the *caller* wants balanced.
+using SeparationOracle = std::function<Separation(
+    std::span<const Vertex> w_list, std::span<const double> weights)>;
+
+/// Lemma 37.2, procedure Split: compute a w*-splitting set using only
+/// balanced separations.  `p` controls the pi = tau^p recursion measure.
+SplitResult split_via_separations(const Graph& g, std::span<const Vertex> w_list,
+                                  std::span<const double> weights, double target,
+                                  double p, const SeparationOracle& oracle);
+
+/// Adapter making Lemma 37.2 an ISplitter (used to cross-validate the two
+/// notions in tests: splitter -> separations -> splitter round trip).
+class SeparationSplitter final : public ISplitter {
+ public:
+  SeparationSplitter(ISplitter& inner, double p) : inner_(&inner), p_(p) {}
+  SplitResult split(const SplitRequest& request) override;
+  std::string name() const override { return "via-separations"; }
+
+ private:
+  ISplitter* inner_;
+  double p_;
+};
+
+}  // namespace mmd

@@ -1,0 +1,150 @@
+#include "separators/splittability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/weights.hpp"
+#include "graph/connectivity.hpp"
+#include "separators/separator.hpp"
+#include "util/prng.hpp"
+#include "util/norms.hpp"
+#include "util/stats.hpp"
+
+namespace mmd {
+
+namespace {
+
+std::vector<Vertex> all_vertices(const Graph& g) {
+  std::vector<Vertex> vs(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) vs[static_cast<std::size_t>(v)] = v;
+  return vs;
+}
+
+/// BFS ball: the first `size` vertices of a BFS from `center`.
+std::vector<Vertex> bfs_ball(const Graph& g, Vertex center, std::size_t size) {
+  const auto vs = all_vertices(g);
+  Membership all(g.num_vertices());
+  all.assign(vs);
+  auto order = bfs_order(g, vs, all, center);
+  order.resize(std::min(order.size(), size));
+  return order;
+}
+
+WeightParams sampled_weight_params(Rng& rng) {
+  WeightParams wp;
+  const int pick = static_cast<int>(rng.next_below(5));
+  wp.model = static_cast<WeightModel>(pick);  // Unit..Bimodal
+  wp.lo = 1.0;
+  wp.hi = rng.log_uniform(1.0, 64.0);
+  wp.seed = rng();
+  return wp;
+}
+
+}  // namespace
+
+SplittabilityEstimate estimate_splittability(const Graph& g, double p,
+                                             ISplitter& splitter,
+                                             const SplittabilityOptions& options) {
+  MMD_REQUIRE(p > 1.0, "splittability needs p > 1");
+  SplittabilityEstimate est;
+  if (g.num_vertices() == 0) return est;
+  Rng rng(options.seed);
+  Membership in_w(g.num_vertices());
+  std::vector<double> ratios;
+  RunningStats stats;
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    // Subgraph: whole graph on the first trial, BFS balls afterwards.
+    std::vector<Vertex> w_list;
+    if (trial == 0 || g.num_vertices() <= options.min_subgraph) {
+      w_list = all_vertices(g);
+    } else {
+      const auto center = static_cast<Vertex>(rng.next_below(
+          static_cast<std::uint64_t>(g.num_vertices())));
+      const auto frac = rng.uniform(0.2, 1.0);
+      w_list = bfs_ball(g, center,
+                        static_cast<std::size_t>(frac * g.num_vertices()));
+      if (static_cast<int>(w_list.size()) < options.min_subgraph) continue;
+    }
+    in_w.assign(w_list);
+    const auto stats_w = induced_cost_stats(g, w_list, in_w, p);
+    if (stats_w.norm_p <= 0.0) continue;
+
+    const auto wp = sampled_weight_params(rng);
+    const auto weights = make_weights(g.num_vertices(), wp);
+    const double total = set_measure(weights, w_list);
+
+    SplitRequest req;
+    req.g = &g;
+    req.w_list = w_list;
+    req.weights = weights;
+    req.target = rng.uniform(0.0, total);
+    const SplitResult res = splitter.split(req);
+
+    const double ratio = res.boundary_cost / stats_w.norm_p;
+    ratios.push_back(ratio);
+    stats.add(ratio);
+  }
+
+  est.samples = static_cast<int>(ratios.size());
+  if (!ratios.empty()) {
+    est.max_ratio = stats.max();
+    est.mean = stats.mean();
+    est.p95 = percentile(ratios, 0.95);
+  }
+  return est;
+}
+
+double grid_splittability_bound(int d, double fluctuation) {
+  MMD_REQUIRE(d >= 1 && fluctuation >= 1.0, "bad grid parameters");
+  return d * std::pow(std::log2(fluctuation + 1.0) + 1.0, 1.0 / d);
+}
+
+SeparabilityEstimate estimate_separability(const Graph& g, double p,
+                                           ISplitter& splitter,
+                                           const SplittabilityOptions& options) {
+  MMD_REQUIRE(p > 1.0, "separability needs p > 1");
+  SeparabilityEstimate est;
+  if (g.num_vertices() == 0) return est;
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + 5);
+  const auto tau = vertex_costs_from_edges(g);
+  std::vector<double> ratios;
+  RunningStats stats;
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    std::vector<Vertex> w_list;
+    if (trial == 0 || g.num_vertices() <= options.min_subgraph) {
+      w_list = all_vertices(g);
+    } else {
+      const auto center = static_cast<Vertex>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+      w_list = bfs_ball(g, center,
+                        static_cast<std::size_t>(rng.uniform(0.2, 1.0) *
+                                                 g.num_vertices()));
+      if (static_cast<int>(w_list.size()) < options.min_subgraph) continue;
+    }
+    std::vector<double> tau_w;
+    tau_w.reserve(w_list.size());
+    for (Vertex v : w_list) tau_w.push_back(tau[static_cast<std::size_t>(v)]);
+    const double denom = norm_p(tau_w, p);
+    if (denom <= 0.0) continue;
+
+    const auto wp = sampled_weight_params(rng);
+    const auto weights = make_weights(g.num_vertices(), wp);
+    const Separation sep = balanced_separation(g, w_list, weights, splitter);
+    if (!is_balanced_separation(g, w_list, weights, sep)) continue;
+
+    const double ratio = sep.separator_cost / denom;
+    ratios.push_back(ratio);
+    stats.add(ratio);
+  }
+  est.samples = static_cast<int>(ratios.size());
+  if (!ratios.empty()) {
+    est.max_ratio = stats.max();
+    est.mean = stats.mean();
+    est.p95 = percentile(ratios, 0.95);
+  }
+  return est;
+}
+
+}  // namespace mmd

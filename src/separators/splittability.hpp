@@ -1,0 +1,60 @@
+// Empirical estimation of the p-splittability sigma_p(G, c)
+// (Definition 3).  The exact value is a supremum over all induced
+// subgraphs, weights and splitting values, which is not computable;
+// the estimator samples
+//   * subgraphs: the whole graph, BFS balls around random centers, and
+//     random coordinate boxes when coordinates exist,
+//   * weights: the adversarial families of gen/weights.hpp,
+//   * splitting values: uniform in [0, w(W)],
+// and reports the distribution of d_W(U) / ||c|W||_p achieved by the
+// provided splitter.  This *upper-bounds* what the pipeline will see from
+// this splitter (the quantity Theorem 4's bound actually consumes is the
+// splitter's realized quality, not the graph's true sigma_p).
+#pragma once
+
+#include <cstdint>
+
+#include "separators/splitter.hpp"
+
+namespace mmd {
+
+struct SplittabilityEstimate {
+  double max_ratio = 0.0;   ///< worst sampled d_W U / ||c|W||_p
+  double p95 = 0.0;
+  double mean = 0.0;
+  int samples = 0;          ///< samples with ||c|W||_p > 0
+};
+
+struct SplittabilityOptions {
+  int trials = 64;
+  std::uint64_t seed = 17;
+  int min_subgraph = 8;  ///< skip sampled subgraphs smaller than this
+};
+
+SplittabilityEstimate estimate_splittability(
+    const Graph& g, double p, ISplitter& splitter,
+    const SplittabilityOptions& options = {});
+
+/// Theorem 19's proved splittability value for a d-dimensional grid with
+/// fluctuation phi:  C * d * log^{1/d}(phi + 1); the constant is left at 1
+/// (we track shapes, not constants).
+double grid_splittability_bound(int d, double fluctuation);
+
+/// Empirical beta_p separability estimate (Definition 35): the cost of
+/// balanced separations tau(A cap B), relative to ||tau|W||_p with
+/// tau(v) = c(delta(v)), over sampled subgraphs and weights.  Lemma 37
+/// sandwiches it against sigma_p:
+///   beta_p / phi_l  <=_p  sigma_p  <=_p  phi_l * Delta^{1/q} * beta_p,
+/// which tests/test_splittability.cpp verifies empirically.
+struct SeparabilityEstimate {
+  double max_ratio = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  int samples = 0;
+};
+
+SeparabilityEstimate estimate_separability(
+    const Graph& g, double p, ISplitter& splitter,
+    const SplittabilityOptions& options = {});
+
+}  // namespace mmd

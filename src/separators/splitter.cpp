@@ -1,0 +1,50 @@
+#include "separators/splitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmd {
+
+void check_split_contract(const SplitRequest& request, const SplitResult& result) {
+  MMD_REQUIRE(request.g != nullptr, "null graph in split request");
+  const Graph& g = *request.g;
+  Membership in_w(g.num_vertices());
+  in_w.assign(request.w_list);
+  double total = 0.0, wmax = 0.0;
+  for (Vertex v : request.w_list) {
+    total += request.weights[static_cast<std::size_t>(v)];
+    wmax = std::max(wmax, request.weights[static_cast<std::size_t>(v)]);
+  }
+  const double target = std::clamp(request.target, 0.0, total);
+
+  Membership seen(g.num_vertices());
+  seen.clear();
+  double weight = 0.0;
+  for (Vertex v : result.inside) {
+    if (!in_w.contains(v))
+      throw InvariantViolation("splitting set contains vertex outside W");
+    if (seen.contains(v))
+      throw InvariantViolation("splitting set contains duplicate vertex");
+    seen.add(v);
+    weight += request.weights[static_cast<std::size_t>(v)];
+  }
+  const double slack = 1e-9 * std::max(1.0, total) + wmax / 2.0;
+  if (std::abs(weight - target) > slack)
+    throw InvariantViolation("splitting window violated: |w(U) - w*| > wmax/2");
+}
+
+SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
+                           std::span<const double> weights,
+                           std::span<const Vertex> inside) {
+  Membership in_w(g.num_vertices());
+  in_w.assign(w_list);
+  Membership in_u(g.num_vertices());
+  in_u.assign(inside);
+  SplitResult out;
+  out.inside.assign(inside.begin(), inside.end());
+  out.weight = set_measure(weights, inside);
+  out.boundary_cost = boundary_cost_within(g, inside, in_u, in_w);
+  return out;
+}
+
+}  // namespace mmd

@@ -1,0 +1,64 @@
+// The splitting-set primitive (Definition 3).
+//
+// A w*-splitting set of G[W] is a subset U of W with
+//     |w(U) - w*| <= ||w|W||_inf / 2,
+// and the p-splittability sigma_p(G,c) is the least factor such that a
+// splitting set with boundary cost at most sigma_p * ||c|W||_p always
+// exists.  Splitters are the only graph-structure-specific component of
+// the whole pipeline: Theorem 4 turns any splitter into a strictly
+// balanced k-coloring whose maximum boundary cost scales with the
+// splitter's quality.
+//
+// Contract for ISplitter::split:
+//   requires  0 <= target <= w(W)   (clamped internally otherwise)
+//   ensures   result.inside is a subset of W (duplicates-free) with
+//             |result.weight - target| <= max_{v in W} w_v / 2.
+// The boundary-cost side has no hard guarantee (that is the quality
+// sigma_p); the weight window is a hard postcondition and is verified by
+// `check_split_contract`.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+struct SplitRequest {
+  const Graph* g = nullptr;
+  std::span<const Vertex> w_list;      ///< the sub-instance W
+  std::span<const double> weights;     ///< vertex measure, indexed by global id
+  double target = 0.0;                 ///< splitting value w*
+};
+
+struct SplitResult {
+  std::vector<Vertex> inside;   ///< the splitting set U
+  double weight = 0.0;          ///< w(U)
+  double boundary_cost = 0.0;   ///< d_W U: cost of E(W) edges crossing U
+};
+
+class ISplitter {
+ public:
+  virtual ~ISplitter() = default;
+
+  /// Compute a splitting set.  Not required to be thread-safe (splitters
+  /// may keep scratch buffers).
+  virtual SplitResult split(const SplitRequest& request) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Verify the hard weight-window postcondition; throws InvariantViolation
+/// (and is used in tests / debug paths).
+void check_split_contract(const SplitRequest& request, const SplitResult& result);
+
+/// Evaluate w(U) and d_W U of a candidate set exactly.
+SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
+                           std::span<const double> weights,
+                           std::span<const Vertex> inside);
+
+}  // namespace mmd

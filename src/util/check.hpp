@@ -1,0 +1,54 @@
+// Lightweight precondition / invariant checking.
+//
+// Library entry points validate their inputs with MMD_REQUIRE (always on,
+// throws std::invalid_argument).  Internal invariants that the paper's
+// proofs guarantee are checked with MMD_ASSERT, which compiles away in
+// NDEBUG builds but throws mmd::InvariantViolation otherwise so that tests
+// can exercise failure injection.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mmd {
+
+/// Thrown when an internal algorithmic invariant (one the paper's proofs
+/// guarantee) is observed to fail.  Seeing this exception means either a
+/// bug or a misuse of an internal API, never a user-input problem.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void throw_require(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("requirement failed: ") + cond +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantViolation(std::string("invariant violated: ") + cond +
+                           " at " + file + ":" + std::to_string(line) +
+                           (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace mmd
+
+#define MMD_REQUIRE(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) ::mmd::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MMD_ASSERT(cond, msg) \
+  do {                        \
+    (void)sizeof(cond);       \
+  } while (0)
+#else
+#define MMD_ASSERT(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) ::mmd::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+#endif

@@ -1,0 +1,58 @@
+// p-norms of non-negative discrete functions (paper, "Notation" section).
+//
+// For f : X -> R+ represented as a contiguous range of doubles,
+//   ||f||_p   = (sum f_x^p)^(1/p),     p in (1, inf)
+//   ||f||_1   = sum f_x
+//   ||f||_inf = max f_x
+// and the Hoelder conjugate q with 1/p + 1/q = 1.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace mmd {
+
+/// Hoelder conjugate exponent q of p (1/p + 1/q = 1).  p must exceed 1.
+inline double holder_conjugate(double p) {
+  MMD_REQUIRE(p > 1.0, "holder_conjugate needs p > 1");
+  return p / (p - 1.0);
+}
+
+/// ||f||_1 of a non-negative function.
+inline double norm1(std::span<const double> f) {
+  double s = 0.0;
+  for (double x : f) s += x;
+  return s;
+}
+
+/// ||f||_inf of a non-negative function (0 for empty domain).
+inline double norm_inf(std::span<const double> f) {
+  double m = 0.0;
+  for (double x : f) m = std::max(m, x);
+  return m;
+}
+
+/// ||f||_p for p > 1 (0 for empty domain).
+/// Scales by the max entry first so that c^p does not overflow for the
+/// large fluctuation ratios used in the grid-separator experiments.
+inline double norm_p(std::span<const double> f, double p) {
+  MMD_REQUIRE(p > 1.0, "norm_p needs p > 1");
+  const double m = norm_inf(f);
+  if (m == 0.0) return 0.0;
+  double s = 0.0;
+  for (double x : f) s += std::pow(x / m, p);
+  return m * std::pow(s, 1.0 / p);
+}
+
+/// sum of f_x^p (the "p-th power mass"), scaled safely.
+inline double pow_sum(std::span<const double> f, double p) {
+  MMD_REQUIRE(p > 1.0, "pow_sum needs p > 1");
+  double s = 0.0;
+  for (double x : f) s += std::pow(x, p);
+  return s;
+}
+
+}  // namespace mmd

@@ -1,0 +1,100 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mmd {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> data, double q) {
+  MMD_REQUIRE(!data.empty(), "percentile of empty data");
+  MMD_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q in [0,1]");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  MMD_REQUIRE(x.size() == y.size(), "fit_linear size mismatch");
+  MMD_REQUIRE(x.size() >= 2, "fit_linear needs >= 2 points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+      ss_res += r * r;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  MMD_REQUIRE(x.size() == y.size(), "fit_power size mismatch");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    MMD_REQUIRE(x[i] > 0 && y[i] > 0, "fit_power needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit fit;
+  fit.coefficient = std::exp(lin.intercept);
+  fit.exponent = lin.slope;
+  fit.r2 = lin.r2;
+  return fit;
+}
+
+std::vector<int> geometric_range(int lo, int hi, int factor) {
+  MMD_REQUIRE(lo >= 1 && factor >= 2, "geometric_range misuse");
+  std::vector<int> out;
+  for (long long v = lo; v <= hi; v *= factor) out.push_back(static_cast<int>(v));
+  return out;
+}
+
+}  // namespace mmd

@@ -1,0 +1,56 @@
+// Small statistics toolkit for the benchmark harness: running moments,
+// percentiles, and least-squares fits (in particular log-log power-law
+// fits, used to verify the k^{-1/p} decay of Theorem 5 empirically).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mmd {
+
+/// Single-pass mean / variance / extrema accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th percentile (q in [0,1]) with linear interpolation; copies the data.
+double percentile(std::span<const double> data, double q);
+
+/// Ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Power-law fit y = C * x^e via least squares in log-log space.
+/// All inputs must be positive.
+struct PowerFit {
+  double coefficient = 0.0;  ///< C
+  double exponent = 0.0;     ///< e
+  double r2 = 0.0;
+};
+PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+/// Geometric sequence helper: count values spaced by `factor` from lo to hi
+/// inclusive, e.g. geometric_range(2, 64, 2) = {2,4,8,16,32,64}.
+std::vector<int> geometric_range(int lo, int hi, int factor);
+
+}  // namespace mmd

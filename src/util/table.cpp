@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mmd {
+
+Table::Table(std::string title, std::vector<std::string> headers,
+             std::optional<std::string> csv_path)
+    : title_(std::move(title)),
+      headers_(std::move(headers)),
+      csv_path_(std::move(csv_path)) {
+  MMD_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MMD_REQUIRE(cells.size() == headers_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::num(int v) { return std::to_string(v); }
+std::string Table::num(long long v) { return std::to_string(v); }
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  os << "\n== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  ";
+      os << std::string(width[c] - cells[c].size(), ' ') << cells[c];
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto wd : width) total += wd + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  std::fputs(os.str().c_str(), stdout);
+  std::fflush(stdout);
+
+  if (csv_path_) {
+    std::ofstream csv(*csv_path_);
+    auto emit_csv = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c) csv << ",";
+        csv << cells[c];
+      }
+      csv << "\n";
+    };
+    emit_csv(headers_);
+    for (const auto& row : rows_) emit_csv(row);
+  }
+}
+
+}  // namespace mmd

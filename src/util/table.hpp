@@ -1,0 +1,40 @@
+// Fixed-width console table writer.  The benchmark binaries print the
+// experiment series (the paper has no numbered tables; each bench re-derives
+// a theorem's quantitative content as a table) and optionally mirror the
+// rows to a CSV file for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmd {
+
+class Table {
+ public:
+  /// Construct with column headers.  If csv_path is given, rows are also
+  /// appended to that file in CSV form.
+  Table(std::string title, std::vector<std::string> headers,
+        std::optional<std::string> csv_path = std::nullopt);
+
+  /// Add one row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision, ints verbatim.
+  static std::string num(double v, int precision = 4);
+  static std::string num(int v);
+  static std::string num(long long v);
+
+  /// Print the whole table to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::optional<std::string> csv_path_;
+};
+
+}  // namespace mmd

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer used by the decomposition pipeline to report
+// per-phase timings and by the runtime experiment (E6).
+#pragma once
+
+#include <chrono>
+
+namespace mmd {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mmd

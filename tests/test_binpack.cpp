@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/binpack.hpp"
+#include "gen/grid.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::expect_total_coloring;
+
+Coloring stripes(const Graph& g, int k) {
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const int col = g.coords(v)[1];
+    chi[v] = std::min(k - 1, col * k / 16);
+  }
+  return chi;
+}
+
+// ---- binpack1 (Lemma 15) -----------------------------------------------
+
+TEST(BinPack1, AlmostStrictWithZeroW1) {
+  const Graph g = make_grid_cube(2, 16);
+  const int k = 8;
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  PrefixSplitter splitter;
+  const std::vector<double> w1(static_cast<std::size_t>(k), 0.0);
+  const Coloring out =
+      binpack1(g, stripes(g, k), w, w1, norm_inf(w), splitter);
+  expect_total_coloring(g, out);
+  const auto rep = balance_report(w, out);
+  EXPECT_TRUE(rep.almost_strictly_balanced)
+      << "dev " << rep.max_dev << " vs 2*wmax " << 2 * rep.wmax;
+}
+
+TEST(BinPack1, DirectSumAlmostStrict) {
+  const Graph g = make_grid_cube(2, 16);
+  const int k = 6;
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 5);
+  PrefixSplitter splitter;
+  const double wmax = norm_inf(w);
+  // Simulated W1 class weights: all equal to a plausible per-class load.
+  const double total = norm1(w);
+  std::vector<double> w1(static_cast<std::size_t>(k), 0.0);
+  for (int i = 0; i < k; ++i)
+    w1[static_cast<std::size_t>(i)] = total / (2.0 * k);  // W1 carries half
+
+  const Coloring out = binpack1(g, stripes(g, k), w, w1, wmax, splitter);
+  expect_total_coloring(g, out);
+  const auto cw = class_measure(w, out);
+  const double w_star = (total + total / 2.0) / k;
+  for (int i = 0; i < k; ++i) {
+    const double sum = cw[static_cast<std::size_t>(i)] + w1[static_cast<std::size_t>(i)];
+    EXPECT_LE(std::abs(sum - w_star), 2.0 * wmax + 1e-6) << "class " << i;
+  }
+}
+
+TEST(BinPack1, UnevenW1GetsCompensated) {
+  const Graph g = make_grid_cube(2, 16);
+  const int k = 4;
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  PrefixSplitter splitter;
+  // Class 0 already overloaded on the W1 side, class 3 empty there.
+  const double total = norm1(w);
+  std::vector<double> w1{total / 4.0, total / 8.0, total / 16.0, 0.0};
+  const double w_star = (total + norm1(w1)) / k;
+  const Coloring out = binpack1(g, stripes(g, k), w, w1, 1.0, splitter);
+  const auto cw = class_measure(w, out);
+  for (int i = 0; i < k; ++i)
+    EXPECT_LE(std::abs(cw[static_cast<std::size_t>(i)] +
+                       w1[static_cast<std::size_t>(i)] - w_star),
+              2.0 + 1e-6)
+        << "class " << i;
+}
+
+TEST(BinPack1, CutCostTracked) {
+  const Graph g = make_grid_cube(2, 16);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 7);
+  PrefixSplitter splitter;
+  double cut = 0.0;
+  // All mass starts in one class: plenty of peeling needed.
+  Coloring chi(4, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = 0;
+  const std::vector<double> w1(4, 0.0);
+  binpack1(g, chi, w, w1, norm_inf(w), splitter, &cut);
+  EXPECT_GT(cut, 0.0);
+}
+
+// ---- binpack2 (Proposition 12): the strict-balance property sweep ------
+
+using StrictCase = std::tuple<WeightModel, int /*k*/>;
+
+class BinPack2Strict : public ::testing::TestWithParam<StrictCase> {};
+
+TEST_P(BinPack2Strict, ProducesStrictBalance) {
+  const auto [model, k] = GetParam();
+  const Graph g = make_grid_cube(2, 16);
+  const auto w = testing::weights_for(g, model, 13);
+  PrefixSplitter splitter;
+  const Coloring out = binpack2(g, stripes(g, k), w, splitter);
+  expect_total_coloring(g, out);
+  const auto rep = balance_report(w, out);
+  EXPECT_TRUE(rep.strictly_balanced)
+      << weight_model_name(model) << " k=" << k << ": dev " << rep.max_dev
+      << " bound " << rep.strict_bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinPack2Strict,
+    ::testing::Combine(::testing::ValuesIn(testing::weight_models()),
+                       ::testing::Values(2, 3, 5, 8, 16)),
+    [](const ::testing::TestParamInfo<StrictCase>& info) {
+      return testing::weight_model_suffix(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BinPack2, DegenerateRegimeStillStrict) {
+  // One vertex heavier than everything else combined: avg << wmax/2
+  // triggers the chunking fallback, which must still be strict.
+  const Graph g = make_grid_cube(2, 8);
+  std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 0.1);
+  w[5] = 1000.0;
+  PrefixSplitter splitter;
+  const Coloring out = binpack2(g, stripes(g, 8), w, splitter);
+  const auto rep = balance_report(w, out);
+  EXPECT_TRUE(rep.strictly_balanced)
+      << "dev " << rep.max_dev << " bound " << rep.strict_bound;
+}
+
+TEST(BinPack2, AllZeroWeights) {
+  const Graph g = make_grid_cube(2, 8);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  PrefixSplitter splitter;
+  const Coloring out = binpack2(g, stripes(g, 4), w, splitter);
+  expect_total_coloring(g, out);
+  EXPECT_TRUE(balance_report(w, out).strictly_balanced);
+}
+
+TEST(BinPack2, KOneIsNoop) {
+  const Graph g = make_grid_cube(2, 8);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 1);
+  PrefixSplitter splitter;
+  Coloring chi(1, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = 0;
+  const Coloring out = binpack2(g, chi, w, splitter);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(out[v], 0);
+}
+
+TEST(BinPack2, PreservesBoundaryWithinConstant) {
+  // Starting from a good coloring, strictification must not blow up the
+  // maximum boundary cost (Prop 12's O(... + Delta_c) guarantee).
+  const Graph g = make_grid_cube(2, 20);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  PrefixSplitter splitter;
+  const Coloring before = stripes(g, 4);
+  const double b_before = max_boundary_cost(g, before);
+  const Coloring after = binpack2(g, before, w, splitter);
+  const double b_after = max_boundary_cost(g, after);
+  EXPECT_LE(b_after, 3.0 * b_before + 10.0 * g.max_weighted_degree());
+}
+
+// ---- strict_by_chunking -------------------------------------------------
+
+class ChunkingStrict : public ::testing::TestWithParam<StrictCase> {};
+
+TEST_P(ChunkingStrict, AlwaysStrict) {
+  const auto [model, k] = GetParam();
+  const Graph g = make_grid_cube(2, 12);
+  const auto w = testing::weights_for(g, model, 21, 200.0);
+  PrefixSplitter splitter;
+  const Coloring out = strict_by_chunking(g, stripes(g, k), w, splitter);
+  expect_total_coloring(g, out);
+  EXPECT_TRUE(balance_report(w, out).strictly_balanced)
+      << weight_model_name(model) << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChunkingStrict,
+    ::testing::Combine(::testing::ValuesIn(testing::weight_models()),
+                       ::testing::Values(2, 7, 16, 40)),
+    [](const ::testing::TestParamInfo<StrictCase>& info) {
+      return testing::weight_model_suffix(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ChunkingStrict, MoreClassesThanVertices) {
+  const Graph g = make_grid_cube(2, 3);  // 9 vertices
+  const std::vector<double> w(9, 1.0);
+  PrefixSplitter splitter;
+  Coloring chi(20, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = 0;
+  const Coloring out = strict_by_chunking(g, chi, w, splitter);
+  expect_total_coloring(g, out);
+  EXPECT_TRUE(balance_report(w, out).strictly_balanced);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "graph/coloring.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::two_triangles;
+
+Coloring triangle_split() {
+  // {0,1,2} color 0, {3,4,5} color 1.
+  Coloring chi(2, 6);
+  for (Vertex v = 0; v < 6; ++v) chi[v] = v < 3 ? 0 : 1;
+  return chi;
+}
+
+TEST(Coloring, IsTotal) {
+  Coloring chi(2, 3);
+  EXPECT_FALSE(chi.is_total());
+  chi[0] = 0;
+  chi[1] = 1;
+  chi[2] = 1;
+  EXPECT_TRUE(chi.is_total());
+}
+
+TEST(ClassMeasure, SumsPerClass) {
+  const std::vector<double> mu{1, 2, 3, 4, 5, 6};
+  const auto cm = class_measure(mu, triangle_split());
+  EXPECT_DOUBLE_EQ(cm[0], 6.0);
+  EXPECT_DOUBLE_EQ(cm[1], 15.0);
+}
+
+TEST(ClassMeasure, IgnoresUncolored) {
+  std::vector<double> mu{1, 2, 3, 4, 5, 6};
+  Coloring chi = triangle_split();
+  chi[5] = kUncolored;
+  const auto cm = class_measure(mu, chi);
+  EXPECT_DOUBLE_EQ(cm[1], 9.0);
+}
+
+TEST(ColorClasses, CollectsMembers) {
+  const auto classes = color_classes(triangle_split());
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<Vertex>{0, 1, 2}));
+  EXPECT_EQ(classes[1], (std::vector<Vertex>{3, 4, 5}));
+}
+
+TEST(ClassBoundaryCosts, BridgeCountsForBothSides) {
+  const Graph g = two_triangles();
+  const auto bc = class_boundary_costs(g, triangle_split());
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);  // bridge 2-3
+  EXPECT_DOUBLE_EQ(bc[1], 10.0);
+  EXPECT_DOUBLE_EQ(max_boundary_cost(g, triangle_split()), 10.0);
+  EXPECT_DOUBLE_EQ(avg_boundary_cost(g, triangle_split()), 10.0);
+}
+
+TEST(ClassBoundaryCosts, UncoloredEndpointCountsForColoredSide) {
+  const Graph g = two_triangles();
+  Coloring chi = triangle_split();
+  chi[3] = kUncolored;
+  const auto bc = class_boundary_costs(g, chi);
+  // Class 0 still pays the bridge; class 1 pays edges 3-4 (4) and 5-3 (6).
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);
+  EXPECT_DOUBLE_EQ(bc[1], 10.0);
+}
+
+TEST(BalanceReport, PerfectBalance) {
+  const std::vector<double> w{1, 1, 1, 1, 1, 1};
+  const auto rep = balance_report(w, triangle_split());
+  EXPECT_DOUBLE_EQ(rep.avg, 3.0);
+  EXPECT_DOUBLE_EQ(rep.max_dev, 0.0);
+  EXPECT_TRUE(rep.strictly_balanced);
+  EXPECT_TRUE(rep.almost_strictly_balanced);
+}
+
+TEST(BalanceReport, StrictBoundIsExactlyDefinition1) {
+  // k = 2, ||w||_inf = 4: strict bound = (1 - 1/2) * 4 = 2.
+  const std::vector<double> w{4, 1, 1, 1, 1, 1};  // total 9, avg 4.5
+  const auto rep = balance_report(w, triangle_split());
+  EXPECT_DOUBLE_EQ(rep.strict_bound, 2.0);
+  // Classes weigh 6 and 3 -> dev 1.5 <= 2: strictly balanced.
+  EXPECT_DOUBLE_EQ(rep.max_dev, 1.5);
+  EXPECT_TRUE(rep.strictly_balanced);
+}
+
+TEST(BalanceReport, DetectsImbalance) {
+  const std::vector<double> w{1, 1, 1, 1, 1, 1};
+  Coloring chi(2, 6);
+  for (Vertex v = 0; v < 6; ++v) chi[v] = v < 5 ? 0 : 1;  // 5 vs 1
+  const auto rep = balance_report(w, chi);
+  EXPECT_DOUBLE_EQ(rep.max_dev, 2.0);
+  EXPECT_FALSE(rep.strictly_balanced);  // bound is 0.5
+  EXPECT_TRUE(rep.almost_strictly_balanced);
+}
+
+TEST(WeakBalanceFactor, MatchesDefinition) {
+  const std::vector<double> mu{1, 1, 1, 1, 1, 1};
+  // Balanced split: max class = 3; avg + max = 3 + 1 = 4 -> factor 0.75.
+  EXPECT_DOUBLE_EQ(weak_balance_factor(mu, triangle_split()), 0.75);
+}
+
+TEST(ValidateColoring, CatchesErrors) {
+  const Graph g = two_triangles();
+  Coloring chi(2, 6);
+  EXPECT_THROW(validate_coloring(g, chi, true), std::invalid_argument);
+  EXPECT_NO_THROW(validate_coloring(g, chi, false));
+  chi.color.assign(6, 5);  // out of range
+  EXPECT_THROW(validate_coloring(g, chi, false), std::invalid_argument);
+  Coloring wrong_size(2, 5);
+  EXPECT_THROW(validate_coloring(g, wrong_size, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/basic.hpp"
+#include "gen/grid.hpp"
+#include "graph/connectivity.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+TEST(Components, ConnectedGraphHasOne) {
+  const auto comps = connected_components(make_grid_cube(2, 5));
+  EXPECT_EQ(comps.count, 1);
+}
+
+TEST(Components, DisjointPieces) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(2, 3, 1.0);
+  const auto comps = connected_components(b.build());
+  EXPECT_EQ(comps.count, 3);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(comps.id[0], comps.id[1]);
+  EXPECT_EQ(comps.id[2], comps.id[3]);
+  EXPECT_NE(comps.id[0], comps.id[2]);
+  EXPECT_NE(comps.id[4], comps.id[0]);
+}
+
+TEST(BfsOrder, CoversSubsetExactlyOnce) {
+  const Graph g = make_grid_cube(2, 6);
+  auto vs = testing::all_vertices(g);
+  Membership in_w(g.num_vertices());
+  in_w.assign(vs);
+  auto order = bfs_order(g, vs, in_w);
+  ASSERT_EQ(order.size(), vs.size());
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, vs);
+}
+
+TEST(BfsOrder, StartsAtSource) {
+  const Graph g = make_path(10);
+  const auto vs = testing::all_vertices(g);
+  Membership in_w(g.num_vertices());
+  in_w.assign(vs);
+  const auto order = bfs_order(g, vs, in_w, 7);
+  EXPECT_EQ(order.front(), 7);
+}
+
+TEST(BfsOrder, PathFromEndIsMonotone) {
+  const Graph g = make_path(8);
+  const auto vs = testing::all_vertices(g);
+  Membership in_w(g.num_vertices());
+  in_w.assign(vs);
+  const auto order = bfs_order(g, vs, in_w, 0);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(order[i], static_cast<Vertex>(i));
+}
+
+TEST(BfsOrder, HandlesDisconnectedSubset) {
+  const Graph g = make_path(10);
+  // Two separated islands {0,1} and {7,8}.
+  const std::vector<Vertex> w{0, 1, 7, 8};
+  Membership in_w(g.num_vertices());
+  in_w.assign(w);
+  auto order = bfs_order(g, w, in_w);
+  ASSERT_EQ(order.size(), 4u);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, w);
+}
+
+TEST(BfsOrder, RejectsSourceOutsideSubset) {
+  const Graph g = make_path(10);
+  const std::vector<Vertex> w{0, 1};
+  Membership in_w(g.num_vertices());
+  in_w.assign(w);
+  EXPECT_THROW(bfs_order(g, w, in_w, 5), std::invalid_argument);
+}
+
+TEST(ComponentWeights, SumsPerPiece) {
+  const Graph g = make_path(10);
+  const std::vector<Vertex> w{0, 1, 7, 8, 9};
+  Membership in_w(g.num_vertices());
+  in_w.assign(w);
+  std::vector<double> weights(10, 1.0);
+  weights[9] = 5.0;
+  auto cw = component_weights(g, w, in_w, weights);
+  std::sort(cw.begin(), cw.end());
+  ASSERT_EQ(cw.size(), 2u);
+  EXPECT_DOUBLE_EQ(cw[0], 2.0);  // {0,1}
+  EXPECT_DOUBLE_EQ(cw[1], 7.0);  // {7,8,9}
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/fast.hpp"
+#include "gen/grid.hpp"
+#include "graph/coarsen.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::expect_total_coloring;
+
+TEST(Coarsen, HalvesTheGraph) {
+  const Graph g = make_grid_cube(2, 16);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const CoarseLevel cl = coarsen_heavy_edge(g, w, 1);
+  EXPECT_GE(cl.graph.num_vertices(), g.num_vertices() / 2);
+  EXPECT_LT(cl.graph.num_vertices(), g.num_vertices());
+  // Weight is conserved.
+  EXPECT_NEAR(norm1(cl.weights), norm1(w), 1e-9);
+  // Parent map is onto [0, coarse_n).
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(cl.parent[static_cast<std::size_t>(v)], 0);
+    EXPECT_LT(cl.parent[static_cast<std::size_t>(v)], cl.graph.num_vertices());
+  }
+}
+
+TEST(Coarsen, PrefersHeavyEdges) {
+  // A path with one huge edge.  Matching is greedy in a random *vertex*
+  // order (heaviest free neighbor per visit), so the heavy edge is
+  // contracted whenever one of its endpoints is visited before both ends
+  // are taken — i.e. for a solid majority of seeds, and always for seed 0.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 100.0);
+  b.add_edge(2, 3, 1.0);
+  const Graph g = b.build();
+  const std::vector<double> w(4, 1.0);
+  const CoarseLevel first = coarsen_heavy_edge(g, w, 0);
+  EXPECT_EQ(first.parent[1], first.parent[2]);
+  int contracted = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const CoarseLevel cl = coarsen_heavy_edge(g, w, seed);
+    if (cl.parent[1] == cl.parent[2]) ++contracted;
+  }
+  EXPECT_GE(contracted, 6);  // well above chance for adversarial orders
+}
+
+TEST(Coarsen, ProjectRoundTrip) {
+  const Graph g = make_grid_cube(2, 8);
+  const std::vector<double> w(64, 1.0);
+  const CoarseLevel cl = coarsen_heavy_edge(g, w, 3);
+  Coloring coarse_chi(4, cl.graph.num_vertices());
+  for (Vertex v = 0; v < cl.graph.num_vertices(); ++v) coarse_chi[v] = v % 4;
+  const Coloring fine = project_coloring(coarse_chi, cl.parent);
+  expect_total_coloring(g, fine);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(fine[v], coarse_chi[cl.parent[static_cast<std::size_t>(v)]]);
+}
+
+TEST(Fast, StrictBalanceAtFullResolution) {
+  const Graph g = make_grid_cube(2, 48);
+  for (WeightModel model : {WeightModel::Unit, WeightModel::Uniform,
+                            WeightModel::Bimodal}) {
+    const auto w = testing::weights_for(g, model, 29);
+    FastOptions opt;
+    opt.inner.k = 12;
+    opt.coarse_target = 256;
+    const FastResult res = decompose_fast(g, w, opt);
+    expect_total_coloring(g, res.coloring);
+    EXPECT_TRUE(res.balance.strictly_balanced) << weight_model_name(model);
+    EXPECT_GT(res.levels, 0);
+  }
+}
+
+TEST(Fast, QualityComparableToFullPipeline) {
+  const Graph g = make_grid_cube(2, 48);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  FastOptions fopt;
+  fopt.inner.k = 8;
+  fopt.coarse_target = 256;
+  const FastResult fast = decompose_fast(g, w, fopt);
+
+  DecomposeOptions dopt;
+  dopt.k = 8;
+  const DecomposeResult full = decompose(g, w, dopt);
+  EXPECT_LE(fast.max_boundary, 2.5 * full.max_boundary + 1e-9);
+}
+
+TEST(Fast, SmallGraphSkipsCoarsening) {
+  const Graph g = make_grid_cube(2, 8);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 31);
+  FastOptions opt;
+  opt.inner.k = 4;
+  opt.coarse_target = 4096;  // larger than the graph
+  const FastResult res = decompose_fast(g, w, opt);
+  EXPECT_EQ(res.levels, 0);
+  EXPECT_TRUE(res.balance.strictly_balanced);
+}
+
+TEST(Fast, KOne) {
+  const Graph g = make_grid_cube(2, 16);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  FastOptions opt;
+  opt.inner.k = 1;
+  opt.coarse_target = 64;
+  const FastResult res = decompose_fast(g, w, opt);
+  expect_total_coloring(g, res.coloring);
+  EXPECT_DOUBLE_EQ(res.max_boundary, 0.0);
+}
+
+}  // namespace
+}  // namespace mmd

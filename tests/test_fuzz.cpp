@@ -1,0 +1,116 @@
+// Randomized end-to-end fuzzing: many random instances (random sparse
+// graphs, random weights/costs, random k), each run through the full
+// pipeline and checked against the hard guarantees:
+//   * output is a total coloring,
+//   * strictly balanced (Definition 1),
+//   * deterministic (same seed -> identical output),
+//   * boundary costs consistent when recomputed from scratch.
+// Unlike the structured property sweeps, the instances here are shapeless
+// on purpose — no coordinates, dangling vertices, duplicate-edge inputs,
+// skewed degrees — to exercise every fallback path.
+#include <gtest/gtest.h>
+
+#include "core/decompose.hpp"
+#include "core/fast.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+#include "util/prng.hpp"
+
+namespace mmd {
+namespace {
+
+struct FuzzInstance {
+  Graph graph;
+  std::vector<double> weights;
+  int k;
+};
+
+FuzzInstance random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.uniform_int(2, 120));
+  const int m = static_cast<int>(rng.uniform_int(0, 4 * n));
+  GraphBuilder builder(static_cast<Vertex>(n));
+  for (int i = 0; i < m; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    // Mix of zero, tiny, moderate and huge costs; duplicates on purpose
+    // (the builder coalesces them).
+    double cost = 0.0;
+    switch (rng.next_below(4)) {
+      case 0: cost = 0.0; break;
+      case 1: cost = rng.uniform(1e-9, 1e-6); break;
+      case 2: cost = rng.uniform(0.1, 10.0); break;
+      default: cost = rng.log_uniform(1.0, 1e6); break;
+    }
+    builder.add_edge(u, v, cost);
+  }
+  FuzzInstance inst;
+  inst.graph = builder.build();
+  inst.weights.resize(static_cast<std::size_t>(n));
+  for (auto& w : inst.weights) {
+    switch (rng.next_below(4)) {
+      case 0: w = 0.0; break;
+      case 1: w = 1.0; break;
+      case 2: w = rng.uniform(0.0, 5.0); break;
+      default: w = rng.log_uniform(1.0, 1e4); break;
+    }
+  }
+  inst.k = static_cast<int>(rng.uniform_int(1, 2 * n > 24 ? 24 : 2 * n));
+  return inst;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipeline, HardGuaranteesAlwaysHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 101;
+  const FuzzInstance inst = random_instance(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed) + " n=" +
+               std::to_string(inst.graph.num_vertices()) + " m=" +
+               std::to_string(inst.graph.num_edges()) + " k=" +
+               std::to_string(inst.k));
+
+  DecomposeOptions opt;
+  opt.k = inst.k;
+  const DecomposeResult res = decompose(inst.graph, inst.weights, opt);
+  testing::expect_total_coloring(inst.graph, res.coloring);
+  EXPECT_TRUE(res.balance.strictly_balanced)
+      << "dev " << res.balance.max_dev << " bound " << res.balance.strict_bound;
+
+  // Recompute the reported boundary from scratch.
+  EXPECT_NEAR(res.max_boundary, max_boundary_cost(inst.graph, res.coloring),
+              1e-6 * (1.0 + res.max_boundary));
+
+  // Determinism.
+  const DecomposeResult again = decompose(inst.graph, inst.weights, opt);
+  EXPECT_EQ(res.coloring.color, again.coloring.color);
+}
+
+TEST_P(FuzzPipeline, FastModeGuaranteesHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 104729 + 7;
+  const FuzzInstance inst = random_instance(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  FastOptions opt;
+  opt.inner.k = inst.k;
+  opt.coarse_target = 32;
+  const FastResult res = decompose_fast(inst.graph, inst.weights, opt);
+  testing::expect_total_coloring(inst.graph, res.coloring);
+  EXPECT_TRUE(res.balance.strictly_balanced);
+}
+
+TEST_P(FuzzPipeline, BisectionInitGuaranteesHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 31337 + 3;
+  const FuzzInstance inst = random_instance(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  DecomposeOptions opt;
+  opt.k = inst.k;
+  opt.init = InitMethod::Bisection;
+  const DecomposeResult res = decompose(inst.graph, inst.weights, opt);
+  testing::expect_total_coloring(inst.graph, res.coloring);
+  EXPECT_TRUE(res.balance.strictly_balanced);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "gen/geometric.hpp"
+#include "gen/grid.hpp"
+#include "gen/mesh.hpp"
+#include "separators/geometric_splitter.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "separators/separator.hpp"
+#include "separators/splittability.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::all_vertices;
+using testing::expect_split_window;
+
+TEST(GeometricSplitter, RequiresCoordinates) {
+  const Graph g = testing::two_triangles();
+  const std::vector<double> w(6, 1.0);
+  GeometricSplitter splitter;
+  SplitRequest req;
+  req.g = &g;
+  const auto vs = all_vertices(g);
+  req.w_list = vs;
+  req.weights = w;
+  req.target = 3.0;
+  EXPECT_THROW(splitter.split(req), std::invalid_argument);
+}
+
+TEST(GeometricSplitter, WindowHoldsAcrossFamilies) {
+  const Graph graphs[] = {make_grid_cube(2, 12), make_tri_mesh(10, 14),
+                          make_random_geometric(400, 0.08)};
+  for (const Graph& g : graphs) {
+    const auto vs = all_vertices(g);
+    for (WeightModel model :
+         {WeightModel::Unit, WeightModel::Zipf, WeightModel::OneHeavy}) {
+      const auto w = testing::weights_for(g, model, 19);
+      double total = 0.0;
+      for (double x : w) total += x;
+      GeometricSplitter splitter;
+      SplitRequest req;
+      req.g = &g;
+      req.w_list = vs;
+      req.weights = w;
+      req.target = 0.4 * total;
+      const SplitResult res = splitter.split(req);
+      expect_split_window(g, vs, w, req.target, res);
+    }
+  }
+}
+
+TEST(GeometricSplitter, CompetitiveOnMeshes) {
+  // On a triangulated mesh the geometric sweeps should at least match the
+  // graph-only BFS sweep within a small factor.
+  const Graph g = make_tri_mesh(20, 20);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = static_cast<double>(g.num_vertices()) / 2.0;
+
+  GeometricSplitter geo;
+  PrefixSplitterOptions po;
+  po.use_coordinate_sweeps = false;  // BFS only
+  PrefixSplitter bfs(po);
+  const double geo_cost = geo.split(req).boundary_cost;
+  const double bfs_cost = bfs.split(req).boundary_cost;
+  EXPECT_LE(geo_cost, 2.0 * bfs_cost);
+}
+
+TEST(GeometricSplitter, DeterministicPerSeed) {
+  const Graph g = make_grid_cube(2, 10);
+  const auto vs = all_vertices(g);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 23);
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = 100.0;
+  GeometricSplitter a, b;
+  EXPECT_EQ(a.split(req).inside, b.split(req).inside);
+}
+
+TEST(GeometricSplitter, SplittabilityOnKnnIsBounded) {
+  // Remark 36: kNN graphs have beta_{d/(d-1)} = O(k^{1/d}); the estimator
+  // with the geometric splitter should land in a small constant range.
+  const Graph g = make_knn(500, 5);
+  GeometricSplitter splitter;
+  SplittabilityOptions opt;
+  opt.trials = 16;
+  const auto est = estimate_splittability(g, 2.0, splitter, opt);
+  EXPECT_GT(est.samples, 4);
+  EXPECT_LT(est.max_ratio, 6.0);
+}
+
+TEST(Separability, SandwichedAgainstSplittability) {
+  // Lemma 37: beta_p and sigma_p agree up to local-fluctuation and degree
+  // factors for well-behaved instances; check both estimators land within
+  // a crude constant envelope of each other on a unit grid.
+  const Graph g = make_grid_cube(2, 14);
+  PrefixSplitter s1, s2;
+  SplittabilityOptions opt;
+  opt.trials = 24;
+  const auto sigma = estimate_splittability(g, 2.0, s1, opt);
+  const auto beta = estimate_separability(g, 2.0, s2, opt);
+  ASSERT_GT(sigma.samples, 0);
+  ASSERT_GT(beta.samples, 0);
+  const double phi_l = local_fluctuation(g);  // = max degree = 4
+  EXPECT_LE(beta.max_ratio, 4.0 * phi_l * sigma.max_ratio + 1.0);
+  EXPECT_LE(sigma.max_ratio, 4.0 * phi_l * 2.0 * beta.max_ratio + 1.0);
+}
+
+}  // namespace
+}  // namespace mmd

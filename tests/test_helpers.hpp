@@ -1,0 +1,44 @@
+// Shared fixtures and checkers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/weights.hpp"
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "separators/splitter.hpp"
+
+namespace mmd::testing {
+
+/// All vertices of a graph as a list.
+std::vector<Vertex> all_vertices(const Graph& g);
+
+/// A small fixed hand-built graph (two triangles joined by a bridge) used
+/// by the structural unit tests:
+///   0-1, 1-2, 2-0 (costs 1,2,3), 2-3 (cost 10), 3-4, 4-5, 5-3 (costs 4,5,6)
+Graph two_triangles();
+
+/// Parameter grids shared by the property sweeps.
+std::vector<WeightModel> weight_models();
+std::vector<int> small_ks();
+
+/// Weight vector for a graph under a model, deterministic per (model,seed).
+std::vector<double> weights_for(const Graph& g, WeightModel model,
+                                std::uint64_t seed = 3, double hi = 20.0);
+
+/// Assert chi is a total partition into chi.k classes covering the graph.
+void expect_total_coloring(const Graph& g, const Coloring& chi);
+
+/// Assert the splitting window |w(U) - clamp(target)| <= wmax/2 (+eps).
+void expect_split_window(const Graph& g, std::span<const Vertex> w_list,
+                         std::span<const double> w, double target,
+                         const SplitResult& result);
+
+/// Human-readable parameter suffix for INSTANTIATE_TEST_SUITE_P.
+std::string weight_model_suffix(WeightModel model);
+
+}  // namespace mmd::testing

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/decompose.hpp"
+#include "graph/connectivity.hpp"
+#include "instances/suite.hpp"
+#include "instances/tight.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+TEST(TightInstance, StructureMatchesLemma40) {
+  const auto inst = make_tight_grid_instance(8, 16);
+  EXPECT_EQ(inst.copies, 4);
+  EXPECT_EQ(inst.du.graph.num_vertices(), 4 * 64);
+  EXPECT_EQ(connected_components(inst.du.graph).count, 4);
+  // ||w||_inf <= ||w||_1 / 4 (Corollary 41's weight condition).
+  EXPECT_LE(norm_inf(inst.weights), norm1(inst.weights) / 4.0);
+  EXPECT_GT(inst.avg_boundary_lower_bound, 0.0);
+  EXPECT_GT(inst.upper_bound_skeleton, inst.avg_boundary_lower_bound);
+}
+
+TEST(TightInstance, RejectsBadParameters) {
+  EXPECT_THROW(make_tight_grid_instance(8, 3), std::invalid_argument);
+  EXPECT_THROW(make_tight_grid_instance(2, 8), std::invalid_argument);
+}
+
+TEST(TightInstance, LowerBoundHoldsForDecomposition) {
+  // Any strictly balanced coloring is in particular roughly balanced, so
+  // Lemma 40 lower-bounds its average boundary cost; our decomposition's
+  // measured cost must land in the [lower, C * upper] window.
+  for (int k : {8, 16, 32}) {
+    const auto inst = make_tight_grid_instance(8, k);
+    DecomposeOptions opt;
+    opt.k = k;
+    const DecomposeResult res =
+        decompose(inst.du.graph, inst.weights, opt);
+    EXPECT_TRUE(res.balance.strictly_balanced) << "k=" << k;
+    EXPECT_GE(res.avg_boundary, inst.avg_boundary_lower_bound - 1e-9)
+        << "k=" << k << ": certified lower bound violated?!";
+    // Upper window: sigma_p times the skeleton plus pipeline constants;
+    // E3 tracks the precise ratios, here we pin a generous envelope.
+    EXPECT_LE(res.max_boundary, 12.0 * inst.upper_bound_skeleton) << "k=" << k;
+  }
+}
+
+TEST(TightInstance, WindowIsConstantFactorAcrossK) {
+  // Theorem 5 tightness: the achieved/lower ratio stays bounded as k grows.
+  double worst_ratio = 0.0;
+  for (int k : {8, 16, 32, 64}) {
+    const auto inst = make_tight_grid_instance(6, k);
+    DecomposeOptions opt;
+    opt.k = k;
+    const DecomposeResult res = decompose(inst.du.graph, inst.weights, opt);
+    worst_ratio = std::max(
+        worst_ratio, res.max_boundary / inst.avg_boundary_lower_bound);
+  }
+  EXPECT_LT(worst_ratio, 40.0);
+}
+
+TEST(Suite, InstancesAreWellFormed) {
+  const auto suite = standard_suite(0);
+  EXPECT_GE(suite.size(), 5u);
+  for (const auto& inst : suite) {
+    EXPECT_FALSE(inst.name.empty());
+    EXPECT_GT(inst.graph.num_vertices(), 0);
+    EXPECT_GT(inst.graph.num_edges(), 0) << inst.name;
+    EXPECT_EQ(static_cast<Vertex>(inst.weights.size()),
+              inst.graph.num_vertices())
+        << inst.name;
+    EXPECT_GT(inst.p, 1.0);
+  }
+}
+
+TEST(Suite, ScalesAreOrdered) {
+  const auto small = standard_suite(0);
+  const auto big = standard_suite(1);
+  ASSERT_EQ(small.size(), big.size());
+  for (std::size_t i = 0; i < small.size(); ++i)
+    EXPECT_LT(small[i].graph.num_vertices(), big[i].graph.num_vertices())
+        << small[i].name;
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/grid.hpp"
+#include "gen/weights.hpp"
+#include "io/metis_io.hpp"
+#include "io/ppm.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+TEST(MetisIo, RoundTripPlainGraph) {
+  const Graph g = testing::two_triangles();
+  const std::vector<double> w{1.5, 2.0, 3.0, 4.0, 5.0, 6.5};
+  std::stringstream ss;
+  write_metis(g, w, ss);
+  const auto back = read_metis(ss);
+  ASSERT_EQ(back.graph.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.graph.num_edges(), g.num_edges());
+  EXPECT_EQ(back.weights, w);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.graph.endpoints(e), g.endpoints(e));
+    EXPECT_DOUBLE_EQ(back.graph.edge_cost(e), g.edge_cost(e));
+  }
+}
+
+TEST(MetisIo, RoundTripGridWithCoords) {
+  CostParams cp;
+  cp.model = CostModel::Uniform;
+  cp.hi = 5.0;
+  const Graph g = make_grid_cube(2, 5, cp);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 91);
+  std::stringstream ss;
+  write_metis(g, w, ss);
+  const auto back = read_metis(ss);
+  ASSERT_TRUE(back.graph.has_coords());
+  EXPECT_TRUE(back.graph.is_grid_graph());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(back.graph.coords(v)[0], g.coords(v)[0]);
+    EXPECT_EQ(back.graph.coords(v)[1], g.coords(v)[1]);
+  }
+}
+
+TEST(MetisIo, FileRoundTrip) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  const std::string path = ::testing::TempDir() + "/mmd_io_test.graph";
+  write_metis_file(g, w, path);
+  const auto back = read_metis_file(path);
+  EXPECT_EQ(back.graph.num_vertices(), 16);
+  EXPECT_EQ(back.graph.num_edges(), g.num_edges());
+}
+
+TEST(MetisIo, RejectsMissingFile) {
+  EXPECT_THROW(read_metis_file("/nonexistent/nope.graph"),
+               std::invalid_argument);
+}
+
+TEST(MetisIo, RejectsCorruptHeader) {
+  std::stringstream ss("2 1 011\n1.0 2 1.0\n");  // truncated vertex lines
+  EXPECT_THROW(read_metis(ss), std::invalid_argument);
+}
+
+TEST(MetisIo, RejectsBadNeighborIndex) {
+  std::stringstream ss("2 1 011\n1.0 5 1.0\n1.0 1 1.0\n");
+  EXPECT_THROW(read_metis(ss), std::invalid_argument);
+}
+
+TEST(PartitionIo, RoundTrip) {
+  Coloring chi(3, 5);
+  chi.color = {0, 1, 2, 1, 0};
+  std::stringstream ss;
+  write_partition(chi, ss);
+  const Coloring back = read_partition(ss, 3);
+  EXPECT_EQ(back.color, chi.color);
+}
+
+TEST(PartitionIo, RejectsOutOfRangeColor) {
+  std::stringstream ss("0\n7\n");
+  EXPECT_THROW(read_partition(ss, 3), std::invalid_argument);
+}
+
+TEST(PpmIo, WritesWellFormedImage) {
+  const Graph g = make_grid_cube(2, 6);
+  Coloring chi(3, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = v % 3;
+  const std::string path = ::testing::TempDir() + "/mmd_ppm_test.ppm";
+  write_coloring_ppm(g, chi, path, 2);
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 12);
+  EXPECT_EQ(h, 12);
+  EXPECT_EQ(maxval, 255);
+  is.get();  // single whitespace after header
+  std::vector<char> pixels(static_cast<std::size_t>(w) * h * 3);
+  is.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(is.gcount(), static_cast<std::streamsize>(pixels.size()));
+}
+
+TEST(PpmIo, RejectsNonPlanarCoords) {
+  const Graph g = make_grid_cube(3, 3);
+  Coloring chi(2, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = 0;
+  EXPECT_THROW(write_coloring_ppm(g, chi, "/tmp/x.ppm"), std::invalid_argument);
+  const Graph flat = testing::two_triangles();  // no coords at all
+  Coloring chi2(2, flat.num_vertices());
+  EXPECT_THROW(write_coloring_ppm(flat, chi2, "/tmp/x.ppm"),
+               std::invalid_argument);
+}
+
+TEST(PartitionIo, PreservesUncolored) {
+  Coloring chi(2, 3);
+  chi.color = {0, kUncolored, 1};
+  std::stringstream ss;
+  write_partition(chi, ss);
+  const Coloring back = read_partition(ss, 2);
+  EXPECT_EQ(back.color, chi.color);
+}
+
+}  // namespace
+}  // namespace mmd

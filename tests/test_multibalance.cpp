@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/measures.hpp"
+#include "core/multibalance.hpp"
+#include "gen/grid.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::expect_total_coloring;
+
+TEST(Measures, SplittingCostMeasureDefinition10) {
+  const Graph g = testing::two_triangles();
+  const double sigma = 2.0;
+  const auto pi = splitting_cost_measure(g, 2.0, sigma);
+  // pi(v) = sigma^2 * sum c_e^2 / 2; vertex 0 touches costs 1 and 3.
+  EXPECT_DOUBLE_EQ(pi[0], 4.0 * (1.0 + 9.0) / 2.0);
+  // Summed over all vertices: sigma^p * ||c||_p^p (each edge seen twice).
+  double total = 0.0;
+  for (double x : pi) total += x;
+  EXPECT_NEAR(total, 4.0 * pow_sum(g.edge_costs(), 2.0), 1e-9);
+  // splitting_cost(W)^p >= (sigma ||c|W||_p)^p for W = V.
+  const auto vs = testing::all_vertices(g);
+  EXPECT_NEAR(splitting_cost(pi, vs, 2.0),
+              sigma * norm_p(g.edge_costs(), 2.0), 1e-9);
+}
+
+TEST(Measures, BichromaticMeasureIdentities) {
+  const Graph g = testing::two_triangles();
+  Coloring chi(2, 6);
+  for (Vertex v = 0; v < 6; ++v) chi[v] = v < 3 ? 0 : 1;
+  const auto psi = bichromatic_cost_measure(g, chi);
+  // Only the bridge 2-3 is bichromatic.
+  EXPECT_DOUBLE_EQ(psi[2], 10.0);
+  EXPECT_DOUBLE_EQ(psi[3], 10.0);
+  EXPECT_DOUBLE_EQ(psi[0], 0.0);
+  // ||Psi chi^-1||_inf == ||d chi^-1||_inf (proof of Prop 7).
+  EXPECT_DOUBLE_EQ(norm_inf(class_measure(psi, chi)),
+                   max_boundary_cost(g, chi));
+  // ||Psi||_inf <= Delta_c.
+  EXPECT_LE(norm_inf(psi), g.max_weighted_degree());
+}
+
+TEST(Measures, Theorem4BoundShape) {
+  const Graph g = make_grid_cube(2, 10);
+  const auto b4 = theorem4_bound(g, 2.0, 1.0, 4);
+  const auto b16 = theorem4_bound(g, 2.0, 1.0, 16);
+  // The k^{-1/p} term halves from k=4 to k=16 (p = 2).
+  EXPECT_NEAR(b4.b_avg / b16.b_avg, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b4.delta_c, 4.0);
+  EXPECT_GT(b4.b_max, b4.b_avg);
+}
+
+TEST(Multibalance, BalancesAllMeasures) {
+  const Graph g = make_grid_cube(2, 16);
+  const int k = 8;
+  std::vector<std::vector<double>> measures;
+  measures.push_back(testing::weights_for(g, WeightModel::Uniform, 3));
+  measures.push_back(testing::weights_for(g, WeightModel::Bimodal, 5));
+  measures.push_back(testing::weights_for(g, WeightModel::Zipf, 7));
+  std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+  PrefixSplitter splitter;
+  MultibalanceStats stats;
+  const Coloring chi = multibalance(g, k, refs, splitter, {}, &stats);
+  expect_total_coloring(g, chi);
+  EXPECT_GT(stats.rebalance_rounds, 0);
+
+  for (const auto& m : measures) {
+    const double factor = weak_balance_factor(m, chi);
+    EXPECT_LE(factor, 8.0);  // O_r(1) with generous constant
+  }
+}
+
+TEST(Multibalance, AverageBoundaryWithinLemma6Bound) {
+  // Lemma 6: avg boundary = O_r(sigma_p q k^{-1/p} ||c||_p).
+  const Graph g = make_grid_cube(2, 20);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 9);
+  const std::vector<MeasureRef> refs{MeasureRef(w)};
+  PrefixSplitter splitter;
+  for (int k : {4, 16}) {
+    const Coloring chi = multibalance(g, k, refs, splitter);
+    const double bound =
+        theorem4_bound(g, 2.0, /*sigma_p=*/2.0, k).b_avg;
+    EXPECT_LE(avg_boundary_cost(g, chi), 3.0 * bound) << "k=" << k;
+  }
+}
+
+TEST(MinmaxBalance, MaxBoundaryWithinProp7Bound) {
+  // Proposition 7: *max* boundary = O_r(sigma_p (q k^{-1/p}||c||_p + Dc)).
+  const Graph g = make_grid_cube(2, 20);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 11);
+  const double sigma = 2.0;
+  const auto pi = splitting_cost_measure(g, 2.0, sigma);
+  const std::vector<MeasureRef> user{MeasureRef(w)};
+  PrefixSplitter splitter;
+  for (int k : {4, 8, 16}) {
+    const Coloring chi = minmax_balance(g, k, pi, user, splitter);
+    expect_total_coloring(g, chi);
+    const auto bound = theorem4_bound(g, 2.0, sigma, k);
+    EXPECT_LE(max_boundary_cost(g, chi), 3.0 * bound.b_max) << "k=" << k;
+    // Still weakly w-balanced.
+    EXPECT_LE(weak_balance_factor(w, chi), 8.0) << "k=" << k;
+  }
+}
+
+TEST(MinmaxBalance, BoundaryBalancingHelps) {
+  // The Psi pass must not make the max boundary worse than a constant of
+  // the pre-pass coloring, and typically improves it notably; compare the
+  // pipelines with and without phase 2 on a bimodal-cost grid.
+  CostParams cp;
+  cp.model = CostModel::Bands;
+  cp.lo = 1.0;
+  cp.hi = 30.0;
+  const Graph g = make_grid_cube(2, 20, cp);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const auto pi = splitting_cost_measure(g, 2.0, 2.0);
+  const std::vector<MeasureRef> user{MeasureRef(w)};
+
+  PrefixSplitter s1, s2;
+  const Coloring with_psi = minmax_balance(g, 8, pi, user, s1);
+  std::vector<MeasureRef> plain{MeasureRef(pi), MeasureRef(w)};
+  const Coloring without_psi = multibalance(g, 8, plain, s2);
+  EXPECT_LE(max_boundary_cost(g, with_psi),
+            2.0 * max_boundary_cost(g, without_psi) + 1e-9);
+}
+
+TEST(Multibalance, KOne) {
+  const Graph g = make_grid_cube(2, 6);
+  const auto w = testing::weights_for(g, WeightModel::Unit, 1);
+  const std::vector<MeasureRef> refs{MeasureRef(w)};
+  PrefixSplitter splitter;
+  const Coloring chi = multibalance(g, 1, refs, splitter);
+  expect_total_coloring(g, chi);
+  EXPECT_DOUBLE_EQ(max_boundary_cost(g, chi), 0.0);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/grid.hpp"
+#include "separators/orderings.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+bool is_permutation_of(std::vector<Vertex> order, std::vector<Vertex> set) {
+  std::sort(order.begin(), order.end());
+  std::sort(set.begin(), set.end());
+  return order == set;
+}
+
+class OrderingTest : public ::testing::Test {
+ protected:
+  OrderingTest() : g_(make_grid_cube(2, 6)), vs_(testing::all_vertices(g_)) {}
+  Graph g_;
+  std::vector<Vertex> vs_;
+};
+
+TEST_F(OrderingTest, BfsIsPermutation) {
+  Membership in_w(g_.num_vertices());
+  in_w.assign(vs_);
+  const auto order = pseudo_peripheral_bfs_order(g_, vs_, in_w);
+  EXPECT_TRUE(is_permutation_of(order, vs_));
+}
+
+TEST_F(OrderingTest, BfsStartsAtCorner) {
+  // On a grid, the double sweep should start from an extremal vertex: its
+  // eccentricity equals the graph diameter.
+  Membership in_w(g_.num_vertices());
+  in_w.assign(vs_);
+  const auto order = pseudo_peripheral_bfs_order(g_, vs_, in_w);
+  const auto c = g_.coords(order.front());
+  const bool corner_like = (c[0] == 0 || c[0] == 5) && (c[1] == 0 || c[1] == 5);
+  EXPECT_TRUE(corner_like) << "started at (" << c[0] << "," << c[1] << ")";
+}
+
+TEST_F(OrderingTest, LexicographicIsSorted) {
+  const auto order = lexicographic_order(g_, vs_);
+  EXPECT_TRUE(is_permutation_of(order, vs_));
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto a = g_.coords(order[i - 1]);
+    const auto b = g_.coords(order[i]);
+    EXPECT_TRUE(a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]));
+  }
+}
+
+TEST_F(OrderingTest, AxisOrderSortsBySingleAxis) {
+  const auto order = axis_order(g_, vs_, 1);
+  EXPECT_TRUE(is_permutation_of(order, vs_));
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(g_.coords(order[i - 1])[1], g_.coords(order[i])[1]);
+  EXPECT_THROW(axis_order(g_, vs_, 2), std::invalid_argument);
+}
+
+TEST_F(OrderingTest, MortonIsPermutationAndLocal) {
+  const auto order = morton_order(g_, vs_);
+  EXPECT_TRUE(is_permutation_of(order, vs_));
+  // Z-curve locality: average L1 jump between consecutive vertices must be
+  // far below the random-order expectation (~side * 2/3 each axis).
+  double total_jump = 0.0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto a = g_.coords(order[i - 1]);
+    const auto b = g_.coords(order[i]);
+    total_jump += std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]);
+  }
+  EXPECT_LT(total_jump / static_cast<double>(order.size() - 1), 3.0);
+}
+
+TEST_F(OrderingTest, MortonFirstIsOrigin) {
+  const auto order = morton_order(g_, vs_);
+  EXPECT_EQ(g_.coords(order.front())[0], 0);
+  EXPECT_EQ(g_.coords(order.front())[1], 0);
+}
+
+TEST(OrderingEdge, CoordinateOrdersRequireCoords) {
+  const Graph g = testing::two_triangles();
+  const auto vs = testing::all_vertices(g);
+  EXPECT_THROW(lexicographic_order(g, vs), std::invalid_argument);
+  EXPECT_THROW(morton_order(g, vs), std::invalid_argument);
+}
+
+TEST(OrderingEdge, EmptySubset) {
+  const Graph g = make_grid_cube(2, 3);
+  Membership in_w(g.num_vertices());
+  in_w.assign({});
+  EXPECT_TRUE(pseudo_peripheral_bfs_order(g, {}, in_w).empty());
+  EXPECT_TRUE(lexicographic_order(g, {}).empty());
+  EXPECT_TRUE(morton_order(g, {}).empty());
+}
+
+TEST(OrderingEdge, MortonHandlesNegativeCoords) {
+  GraphBuilder b(4);
+  const std::array<std::int32_t, 2> p0{-3, -3}, p1{-3, -2}, p2{-2, -3}, p3{-2, -2};
+  b.set_coords(0, p0);
+  b.set_coords(1, p1);
+  b.set_coords(2, p2);
+  b.set_coords(3, p3);
+  const Graph g = b.build();
+  const auto order = morton_order(g, testing::all_vertices(g));
+  EXPECT_EQ(order.front(), 0);  // offset puts (-3,-3) at the origin
+  EXPECT_EQ(order.back(), 3);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/parts.hpp"
+#include "gen/grid.hpp"
+#include "graph/subgraph.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::all_vertices;
+
+TEST(IterativePartition, ChunkWeightWindows) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  PrefixSplitter splitter;
+  const double chunk = 12.0;
+  const auto chunks = iterative_partition(g, vs, w, chunk, splitter);
+
+  double total = 0.0;
+  Membership seen(g.num_vertices());
+  seen.clear();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const double cw = set_measure(w, chunks[i]);
+    total += cw;
+    // Lemma 28: every chunk in [chunk, chunk + max] except possibly the
+    // tail, which is in (0, 3*chunk].
+    if (i + 1 < chunks.size()) {
+      EXPECT_GE(cw, chunk - 1e-9);
+      EXPECT_LE(cw, chunk + 1.0 + 1e-9);
+    } else {
+      EXPECT_LE(cw, 3.0 * chunk + 1e-9);
+      EXPECT_GT(cw, 0.0);
+    }
+    for (Vertex v : chunks[i]) {
+      EXPECT_FALSE(seen.contains(v)) << "vertex in two chunks";
+      seen.add(v);
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, 144.0);  // chunks partition U
+}
+
+TEST(IterativePartition, SmallSetSingleChunk) {
+  const Graph g = make_grid_cube(2, 3);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(9, 1.0);
+  PrefixSplitter splitter;
+  const auto chunks = iterative_partition(g, vs, w, 5.0, splitter);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size(), 9u);
+}
+
+TEST(IterativePartition, TracksCutCost) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  PrefixSplitter splitter;
+  double cut = 0.0;
+  iterative_partition(g, vs, w, 20.0, splitter, &cut);
+  EXPECT_GT(cut, 0.0);
+}
+
+TEST(ExtractLightPart, PicksLowShareChunk) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  // Auxiliary measure concentrated on the left half.
+  std::vector<double> aux(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (g.coords(v)[1] < 3) aux[static_cast<std::size_t>(v)] = 1.0;
+
+  PrefixSplitter splitter;
+  const std::vector<MeasureRef> refs{MeasureRef(aux)};
+  const auto part = extract_light_part(g, vs, w, 18.0, refs, splitter);
+  EXPECT_GE(part.psi_weight, 18.0 - 1e-9);
+  EXPECT_LE(part.psi_weight, 3 * 18.0 + 1e-9);
+  // The chosen chunk should carry (nearly) none of the auxiliary mass:
+  // there are plenty of chunks fully outside the left columns.
+  EXPECT_LE(set_measure(aux, part.part), 0.25 * norm1(aux));
+}
+
+TEST(ExtractHittingPart, CoversArgmaxChunksAndWindow) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  // Two auxiliary measures concentrated in opposite corners.
+  std::vector<double> aux1(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  std::vector<double> aux2(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto c = g.coords(v);
+    if (c[0] < 3 && c[1] < 3) aux1[static_cast<std::size_t>(v)] = 1.0;
+    if (c[0] >= 9 && c[1] >= 9) aux2[static_cast<std::size_t>(v)] = 1.0;
+  }
+  PrefixSplitter splitter;
+  const std::vector<MeasureRef> refs{MeasureRef(aux1), MeasureRef(aux2)};
+  const double target = 40.0;
+  const auto part = extract_hitting_part(g, vs, w, target, refs, splitter);
+  // Weight window [target - max/2, target + max/2] for unit weights.
+  EXPECT_GE(part.psi_weight, target - 0.5 - 1e-9);
+  EXPECT_LE(part.psi_weight, target + 0.5 + 1e-9);
+  // Lemma 30: the part grabs a definite fraction of each auxiliary mass.
+  EXPECT_GE(set_measure(aux1, part.part), norm1(aux1) / 16.0);
+  EXPECT_GE(set_measure(aux2, part.part), norm1(aux2) / 16.0);
+}
+
+TEST(ExtractHittingPart, TakesEverythingWhenTargetExceedsTotal) {
+  const Graph g = make_grid_cube(2, 4);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(16, 1.0);
+  PrefixSplitter splitter;
+  const auto part = extract_hitting_part(g, vs, w, 100.0, {}, splitter);
+  EXPECT_EQ(part.part.size(), 16u);
+}
+
+TEST(ExtractLightPart, EmptyInput) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  PrefixSplitter splitter;
+  const auto part = extract_light_part(g, {}, w, 5.0, {}, splitter);
+  EXPECT_TRUE(part.part.empty());
+}
+
+TEST(BoundaryMeasureOf, MatchesCutDefinition) {
+  const Graph g = testing::two_triangles();
+  const std::vector<Vertex> u{0, 1, 2};
+  std::vector<double> bnd;
+  boundary_measure_of(g, u, bnd);
+  // Only vertex 2 touches the bridge out of U.
+  EXPECT_DOUBLE_EQ(bnd[2], 10.0);
+  EXPECT_DOUBLE_EQ(bnd[0], 0.0);
+  EXPECT_DOUBLE_EQ(bnd[1], 0.0);
+  EXPECT_DOUBLE_EQ(bnd[3], 0.0);  // outside U: zero by convention
+  // Sum over U equals the boundary cost of U.
+  Membership in_u(g.num_vertices());
+  in_u.assign(u);
+  EXPECT_DOUBLE_EQ(set_measure(bnd, u), boundary_cost(g, u, in_u));
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rebalance.hpp"
+#include "gen/grid.hpp"
+#include "graph/subgraph.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::all_vertices;
+using testing::expect_total_coloring;
+
+Coloring all_in_one(const Graph& g, int k) {
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = 0;
+  return chi;
+}
+
+TEST(Rebalance, BalancesPrimaryFromWorstStart) {
+  const Graph g = make_grid_cube(2, 16);
+  const int k = 8;
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  const std::vector<MeasureRef> ms{MeasureRef(w)};
+  PrefixSplitter splitter;
+  RebalanceStats stats;
+  const Coloring out = rebalance(g, all_in_one(g, k), ms, splitter, {}, &stats);
+  expect_total_coloring(g, out);
+
+  // Lemma 9 guarantee: every class below the heavy threshold
+  // 3*avg + 2^r*max (r = 1 here).
+  const double avg = norm1(w) / k;
+  const double thresh = 3.0 * avg + 2.0 * norm_inf(w);
+  const auto cw = class_measure(w, out);
+  for (double x : cw) EXPECT_LE(x, thresh + 1e-9);
+  EXPECT_GT(stats.moves, 0);
+}
+
+TEST(Rebalance, PreservesSecondaryMeasures) {
+  const Graph g = make_grid_cube(2, 16);
+  const int k = 6;
+  const auto psi = testing::weights_for(g, WeightModel::Uniform, 5);
+  const auto phi = testing::weights_for(g, WeightModel::Bimodal, 7);
+
+  // Start from a coloring that is balanced w.r.t. phi (round robin).
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = v % k;
+  const double phi_before = norm_inf(class_measure(phi, chi));
+
+  const std::vector<MeasureRef> ms{MeasureRef(psi), MeasureRef(phi)};
+  PrefixSplitter splitter;
+  const Coloring out = rebalance(g, chi, ms, splitter);
+  expect_total_coloring(g, out);
+
+  // Claim 3: Phi-measure grows by at most 4x plus O(max).
+  const double phi_after = norm_inf(class_measure(phi, out));
+  EXPECT_LE(phi_after, 4.0 * phi_before + 16.0 * norm_inf(phi) + 1e-9);
+
+  // Psi got balanced.
+  const double avg = norm1(psi) / k;
+  const double r_factor = std::pow(2.0, 2);
+  EXPECT_LE(norm_inf(class_measure(psi, out)),
+            3.0 * avg + r_factor * norm_inf(psi) + 1e-9);
+}
+
+TEST(Rebalance, NoopWhenAlreadyBalanced) {
+  const Graph g = make_grid_cube(2, 8);
+  const int k = 4;
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  Coloring chi(k, g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) chi[v] = v % k;  // perfect
+  const std::vector<MeasureRef> ms{MeasureRef(w)};
+  PrefixSplitter splitter;
+  RebalanceStats stats;
+  const Coloring out = rebalance(g, chi, ms, splitter, {}, &stats);
+  EXPECT_EQ(stats.moves, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(out[v], chi[v]);
+}
+
+TEST(Rebalance, ZeroMeasureIsNoop) {
+  const Graph g = make_grid_cube(2, 8);
+  const std::vector<double> zero(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  const std::vector<MeasureRef> ms{MeasureRef(zero)};
+  PrefixSplitter splitter;
+  const Coloring chi = all_in_one(g, 4);
+  const Coloring out = rebalance(g, chi, ms, splitter);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(out[v], 0);
+}
+
+TEST(Rebalance, SingleColorIsNoop) {
+  const Graph g = make_grid_cube(2, 8);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const std::vector<MeasureRef> ms{MeasureRef(w)};
+  PrefixSplitter splitter;
+  const Coloring out = rebalance(g, all_in_one(g, 1), ms, splitter);
+  expect_total_coloring(g, out);
+}
+
+TEST(Rebalance, ForestDepthIsLogarithmic) {
+  // Claim 5: the depth of each Move-forest component is at most
+  // log2(Psi(root class) / avg) <= log2(k) from the all-in-one start.
+  const Graph g = make_grid_cube(2, 20);
+  const int k = 16;
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const std::vector<MeasureRef> ms{MeasureRef(w)};
+  PrefixSplitter splitter;
+  RebalanceStats stats;
+  rebalance(g, all_in_one(g, k), ms, splitter, {}, &stats);
+  EXPECT_LE(stats.max_forest_depth,
+            static_cast<int>(std::log2(k)) + 3);
+}
+
+TEST(Rebalance, MovesAreLinearInK) {
+  const Graph g = make_grid_cube(2, 24);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const std::vector<MeasureRef> ms{MeasureRef(w)};
+  PrefixSplitter splitter;
+  for (int k : {4, 8, 16, 32}) {
+    RebalanceStats stats;
+    rebalance(g, all_in_one(g, k), ms, splitter, {}, &stats);
+    EXPECT_LE(stats.moves, 2 * k) << "k=" << k;
+  }
+}
+
+TEST(Rebalance, AdversarialWeightFamilies) {
+  const Graph g = make_grid_cube(2, 12);
+  PrefixSplitter splitter;
+  for (WeightModel model : testing::weight_models()) {
+    const auto w = testing::weights_for(g, model, 17);
+    const std::vector<MeasureRef> ms{MeasureRef(w)};
+    const int k = 6;
+    const Coloring out = rebalance(g, all_in_one(g, k), ms, splitter);
+    expect_total_coloring(g, out);
+    const double avg = norm1(w) / k;
+    const double thresh = 3.0 * avg + 2.0 * norm_inf(w);
+    for (double x : class_measure(w, out))
+      EXPECT_LE(x, thresh + 1e-9) << weight_model_name(model);
+  }
+}
+
+TEST(Rebalance, RequiresTotalColoring) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  const std::vector<MeasureRef> ms{MeasureRef(w)};
+  PrefixSplitter splitter;
+  Coloring partial(2, g.num_vertices());  // all uncolored
+  EXPECT_THROW(rebalance(g, partial, ms, splitter), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmd

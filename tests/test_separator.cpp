@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/basic.hpp"
+#include "gen/grid.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "separators/separator.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::all_vertices;
+using testing::expect_split_window;
+
+TEST(VertexCosts, TauIsWeightedDegree) {
+  const Graph g = testing::two_triangles();
+  const auto tau = vertex_costs_from_edges(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_DOUBLE_EQ(tau[static_cast<std::size_t>(v)], g.weighted_degree(v));
+}
+
+TEST(LocalFluctuation, UnitCostsEqualsMaxDegree) {
+  const Graph g = make_grid_cube(2, 5);
+  EXPECT_DOUBLE_EQ(local_fluctuation(g), 4.0);
+}
+
+TEST(LocalFluctuation, InfiniteWithZeroCostEdge) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 0.0);
+  EXPECT_TRUE(std::isinf(local_fluctuation(b.build())));
+}
+
+TEST(LocalFluctuation, EdgelessIsZero) {
+  EXPECT_DOUBLE_EQ(local_fluctuation(make_isolated(3)), 0.0);
+}
+
+TEST(BalancedSeparation, ValidOnGrid) {
+  const Graph g = make_grid_cube(2, 10);
+  const auto vs = all_vertices(g);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 5);
+  PrefixSplitter splitter;
+  const Separation sep = balanced_separation(g, vs, w, splitter);
+  EXPECT_TRUE(is_balanced_separation(g, vs, w, sep));
+  EXPECT_GT(sep.separator.size(), 0u);
+  EXPECT_GT(sep.separator_cost, 0.0);
+}
+
+TEST(BalancedSeparation, HeavyVertexBecomesSingletonSeparator) {
+  const Graph g = make_star(8);
+  std::vector<double> w(9, 1.0);
+  w[0] = 100.0;  // the hub dominates
+  PrefixSplitter splitter;
+  const auto vs = all_vertices(g);
+  const Separation sep = balanced_separation(g, vs, w, splitter);
+  ASSERT_EQ(sep.separator.size(), 1u);
+  EXPECT_EQ(sep.separator[0], 0);
+  EXPECT_TRUE(is_balanced_separation(g, vs, w, sep));
+}
+
+TEST(BalancedSeparation, SeparatorCostIsTau) {
+  const Graph g = make_path(20);
+  const std::vector<double> w(20, 1.0);
+  PrefixSplitter splitter;
+  const auto vs = all_vertices(g);
+  const Separation sep = balanced_separation(g, vs, w, splitter);
+  double tau_sum = 0.0;
+  for (Vertex v : sep.separator) tau_sum += g.weighted_degree(v);
+  EXPECT_DOUBLE_EQ(sep.separator_cost, tau_sum);
+}
+
+TEST(IsBalancedSeparation, RejectsCrossingEdges) {
+  const Graph g = make_path(4);  // 0-1-2-3
+  Separation bad;
+  bad.a_only = {0, 1};
+  bad.b_only = {2, 3};  // edge 1-2 crosses, no separator
+  const std::vector<double> w(4, 1.0);
+  EXPECT_FALSE(is_balanced_separation(g, all_vertices(g), w, bad));
+  Separation good;
+  good.a_only = {0};
+  good.separator = {1};
+  good.b_only = {2, 3};
+  EXPECT_TRUE(is_balanced_separation(g, all_vertices(g), w, good));
+}
+
+TEST(IsBalancedSeparation, RejectsImbalance) {
+  const Graph g = make_path(10);
+  Separation sep;
+  sep.a_only = {0, 1, 2, 3, 4, 5, 6, 7};  // 8/10 > 2/3
+  sep.separator = {8};
+  sep.b_only = {9};
+  const std::vector<double> w(10, 1.0);
+  EXPECT_FALSE(is_balanced_separation(g, all_vertices(g), w, sep));
+}
+
+// --- Lemma 37.2: splitting sets from separations ------------------------
+
+class SeparationSplitterTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeparationSplitterTest, WindowHoldsOnGrid) {
+  const double frac = GetParam();
+  const Graph g = make_grid_cube(2, 9);
+  const auto vs = all_vertices(g);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 7);
+  double total = 0.0;
+  for (double x : w) total += x;
+
+  PrefixSplitter inner;
+  SeparationSplitter splitter(inner, 2.0);
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = frac * total;
+  const SplitResult res = splitter.split(req);
+  expect_split_window(g, vs, w, req.target, res);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fracs, SeparationSplitterTest,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0));
+
+TEST(SeparationSplitter, CostComparableToDirectSplit) {
+  // The round trip splitter -> separations -> splitter (Lemma 37 both
+  // directions) should cost at most a constant factor more than the
+  // direct splitter on a grid.
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+
+  PrefixSplitter direct;
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = g.num_vertices() / 2.0;
+  const double direct_cost = direct.split(req).boundary_cost;
+
+  PrefixSplitter inner;
+  SeparationSplitter via(inner, 2.0);
+  const double via_cost = via.split(req).boundary_cost;
+  EXPECT_LE(via_cost, 20.0 * direct_cost + 20.0);
+}
+
+TEST(SeparationSplitter, HandlesDisconnectedGraphs) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(2, 3, 1.0);
+  b.add_edge(4, 5, 1.0);
+  const Graph g = b.build();
+  const std::vector<double> w(6, 1.0);
+  PrefixSplitter inner;
+  SeparationSplitter splitter(inner, 2.0);
+  SplitRequest req;
+  req.g = &g;
+  const auto vs = all_vertices(g);
+  req.w_list = vs;
+  req.weights = w;
+  req.target = 3.0;
+  const SplitResult res = splitter.split(req);
+  expect_split_window(g, vs, w, req.target, res);
+}
+
+TEST(SeparationSplitter, EdgelessBaseCase) {
+  const Graph g = make_isolated(5);
+  const std::vector<double> w{1, 2, 3, 4, 5};
+  PrefixSplitter inner;
+  SeparationSplitter splitter(inner, 2.0);
+  SplitRequest req;
+  req.g = &g;
+  const auto vs = all_vertices(g);
+  req.w_list = vs;
+  req.weights = w;
+  req.target = 7.0;
+  const SplitResult res = splitter.split(req);
+  expect_split_window(g, vs, w, req.target, res);
+  EXPECT_DOUBLE_EQ(res.boundary_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "gen/basic.hpp"
+#include "gen/grid.hpp"
+#include "separators/fm_refine.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::expect_split_window;
+
+TEST(BestPrefix, ExactWindowOnUnitWeights) {
+  const std::vector<Vertex> order{0, 1, 2, 3, 4};
+  const std::vector<double> w{1, 1, 1, 1, 1};
+  EXPECT_EQ(best_prefix(order, w, 0.0), 0u);
+  EXPECT_EQ(best_prefix(order, w, 5.0), 5u);
+  EXPECT_EQ(best_prefix(order, w, 2.4), 2u);
+  EXPECT_EQ(best_prefix(order, w, 2.6), 3u);
+  // Exactly between: either is fine; check window.
+  const auto len = best_prefix(order, w, 2.5);
+  EXPECT_LE(std::abs(static_cast<double>(len) - 2.5), 0.5);
+}
+
+TEST(BestPrefix, ClampsTarget) {
+  const std::vector<Vertex> order{0, 1};
+  const std::vector<double> w{2, 2};
+  EXPECT_EQ(best_prefix(order, w, -5.0), 0u);
+  EXPECT_EQ(best_prefix(order, w, 100.0), 2u);
+}
+
+TEST(BestPrefix, BetterOfTwoRuleHalvesTheWindow) {
+  const std::vector<Vertex> order{0, 1, 2};
+  const std::vector<double> w{10, 10, 10};
+  // target 14: prefix 1 (10, error 4) beats prefix 2 (20, error 6).
+  EXPECT_EQ(best_prefix(order, w, 14.0), 1u);
+  // target 16: prefix 2 wins.
+  EXPECT_EQ(best_prefix(order, w, 16.0), 2u);
+}
+
+// ---- property sweep: the hard splitting window over families ----------
+
+using SplitCase = std::tuple<int /*graph kind*/, WeightModel, double /*frac*/>;
+
+class PrefixSplitterProperty : public ::testing::TestWithParam<SplitCase> {
+ protected:
+  static Graph make_graph(int kind) {
+    switch (kind) {
+      case 0: return make_grid_cube(2, 12);
+      case 1: return make_grid_cube(3, 5);
+      case 2: return make_path(97);
+      default: return make_complete_binary_tree(6);
+    }
+  }
+};
+
+TEST_P(PrefixSplitterProperty, HardWindowHolds) {
+  const auto [kind, model, frac] = GetParam();
+  const Graph g = make_graph(kind);
+  const auto w = testing::weights_for(g, model, 7);
+  const auto vs = testing::all_vertices(g);
+
+  double total = 0.0;
+  for (double x : w) total += x;
+
+  PrefixSplitter splitter;
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = frac * total;
+  const SplitResult res = splitter.split(req);
+  expect_split_window(g, vs, w, req.target, res);
+  EXPECT_NO_THROW(check_split_contract(req, res));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrefixSplitterProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::ValuesIn(testing::weight_models()),
+                       ::testing::Values(0.0, 0.1, 0.33, 0.5, 0.9, 1.0)),
+    [](const ::testing::TestParamInfo<SplitCase>& info) {
+      return "g" + std::to_string(std::get<0>(info.param)) + "_" +
+             testing::weight_model_suffix(std::get<1>(info.param)) + "_f" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+TEST(PrefixSplitter, SubsetRequestsStayInside) {
+  const Graph g = make_grid_cube(2, 10);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  // W = left half of the grid.
+  std::vector<Vertex> half;
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    if (g.coords(v)[1] < 5) half.push_back(v);
+
+  PrefixSplitter splitter;
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = half;
+  req.weights = w;
+  req.target = 30.0;
+  const SplitResult res = splitter.split(req);
+  Membership in_half(g.num_vertices());
+  in_half.assign(half);
+  for (Vertex v : res.inside) EXPECT_TRUE(in_half.contains(v));
+  expect_split_window(g, half, w, req.target, res);
+}
+
+TEST(PrefixSplitter, GridCutIsNearOptimal) {
+  // Unit-cost L x L grid, unit weights, half split: the optimal cut is L.
+  const int side = 16;
+  const Graph g = make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const auto vs = testing::all_vertices(g);
+  PrefixSplitter splitter;
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = g.num_vertices() / 2.0;
+  const SplitResult res = splitter.split(req);
+  EXPECT_LE(res.boundary_cost, 2.0 * side);  // within 2x of optimal
+  EXPECT_GE(res.boundary_cost, side - 1e-9);  // isoperimetry floor
+}
+
+TEST(PrefixSplitter, EmptySubset) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  PrefixSplitter splitter;
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = {};
+  req.weights = w;
+  req.target = 0.0;
+  const SplitResult res = splitter.split(req);
+  EXPECT_TRUE(res.inside.empty());
+}
+
+TEST(FmRefine, NeverWorsensAndKeepsWindow) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 11);
+  const auto vs = testing::all_vertices(g);
+  double total = 0.0;
+  for (double x : w) total += x;
+
+  // Deliberately bad initial split: id-order prefix (no refinement).
+  PrefixSplitterOptions opts;
+  opts.use_bfs = false;
+  opts.use_coordinate_sweeps = false;
+  opts.refine = false;
+  PrefixSplitter rough(opts);
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = total / 2.0;
+  SplitResult res = rough.split(req);
+  const double before = res.boundary_cost;
+
+  const int moves = fm_refine_split(g, vs, w, req.target, res);
+  EXPECT_GE(moves, 0);
+  EXPECT_LE(res.boundary_cost, before + 1e-9);
+  expect_split_window(g, vs, w, req.target, res);
+  // Re-evaluate from scratch to confirm the incremental bookkeeping.
+  const SplitResult fresh = evaluate_split(g, vs, w, res.inside);
+  EXPECT_NEAR(fresh.boundary_cost, res.boundary_cost, 1e-6);
+  EXPECT_NEAR(fresh.weight, res.weight, 1e-9);
+}
+
+TEST(CheckSplitContract, DetectsViolations) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  const auto vs = testing::all_vertices(g);
+  SplitRequest req;
+  req.g = &g;
+  req.w_list = vs;
+  req.weights = w;
+  req.target = 8.0;
+
+  SplitResult bad;  // empty set: weight 0, error 8 > 0.5
+  EXPECT_THROW(check_split_contract(req, bad), InvariantViolation);
+
+  SplitResult dup;
+  dup.inside = {0, 0, 1, 2, 3, 4, 5, 6};
+  EXPECT_THROW(check_split_contract(req, dup), InvariantViolation);
+
+  SplitResult outside;
+  outside.inside = {0, 1, 2, 3, 4, 5, 6, 7};
+  SplitRequest sub = req;
+  const std::vector<Vertex> small{0, 1, 2};
+  sub.w_list = small;
+  EXPECT_THROW(check_split_contract(sub, outside), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace mmd

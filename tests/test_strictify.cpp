@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/measures.hpp"
+#include "core/multibalance.hpp"
+#include "core/strictify.hpp"
+#include "gen/grid.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::expect_total_coloring;
+
+struct Fixture {
+  Graph g = make_grid_cube(2, 24);
+  std::vector<double> pi = splitting_cost_measure(g, 2.0, 2.0);
+  PrefixSplitter splitter;
+
+  Coloring weakly_balanced(std::span<const double> w, int k) {
+    const std::vector<MeasureRef> refs{MeasureRef(pi), MeasureRef(w)};
+    PrefixSplitter s;
+    return multibalance(g, k, refs, s);
+  }
+};
+
+TEST(Strictify, ProducesAlmostStrictBalance) {
+  Fixture f;
+  for (WeightModel model :
+       {WeightModel::Unit, WeightModel::Uniform, WeightModel::Bimodal}) {
+    const auto w = testing::weights_for(f.g, model, 31);
+    const int k = 8;
+    const Coloring chi = f.weakly_balanced(w, k);
+    StrictifyStats stats;
+    const Coloring out =
+        strictify_almost(f.g, chi, w, f.pi, f.splitter, {}, &stats);
+    expect_total_coloring(f.g, out);
+    const auto rep = balance_report(w, out);
+    EXPECT_TRUE(rep.almost_strictly_balanced)
+        << weight_model_name(model) << ": dev " << rep.max_dev << " vs "
+        << 2 * rep.wmax;
+  }
+}
+
+TEST(Strictify, RecursesOnUnitWeights) {
+  // Unit weights on a big grid satisfy ||w||_inf << avg, so the shrink
+  // path (not just the base case) must engage.
+  Fixture f;
+  const std::vector<double> w(static_cast<std::size_t>(f.g.num_vertices()), 1.0);
+  const int k = 4;
+  const Coloring chi = f.weakly_balanced(w, k);
+  StrictifyParams params;
+  params.base_eps = 0.05;
+  params.min_vertices_factor = 4;
+  StrictifyStats stats;
+  const Coloring out =
+      strictify_almost(f.g, chi, w, f.pi, f.splitter, params, &stats);
+  EXPECT_GE(stats.levels, 2) << "shrink recursion never engaged";
+  EXPECT_TRUE(balance_report(w, out).almost_strictly_balanced);
+}
+
+TEST(Strictify, BoundaryCostStaysComparable) {
+  Fixture f;
+  const std::vector<double> w(static_cast<std::size_t>(f.g.num_vertices()), 1.0);
+  const int k = 8;
+  const Coloring chi = f.weakly_balanced(w, k);
+  const double b_before = max_boundary_cost(f.g, chi);
+  const Coloring out = strictify_almost(f.g, chi, w, f.pi, f.splitter);
+  const double b_after = max_boundary_cost(f.g, out);
+  // Proposition 11: constant-factor increase plus O(pi^{1/p}) terms.
+  const double pi_term = splitting_cost(f.pi, testing::all_vertices(f.g), 2.0) /
+                         std::sqrt(static_cast<double>(k));
+  EXPECT_LE(b_after, 6.0 * b_before + 4.0 * pi_term)
+      << "before " << b_before << " after " << b_after;
+}
+
+TEST(Strictify, BaseCaseOnHeavyVertexInstances) {
+  // ||w||_inf comparable to the average: base case (binpack1) route.
+  Fixture f;
+  auto w = testing::weights_for(f.g, WeightModel::OneHeavy, 41, 500.0);
+  const int k = 6;
+  const Coloring chi = f.weakly_balanced(w, k);
+  StrictifyStats stats;
+  const Coloring out =
+      strictify_almost(f.g, chi, w, f.pi, f.splitter, {}, &stats);
+  EXPECT_TRUE(balance_report(w, out).almost_strictly_balanced);
+}
+
+TEST(Strictify, DepthIsLogarithmic) {
+  Fixture f;
+  const std::vector<double> w(static_cast<std::size_t>(f.g.num_vertices()), 1.0);
+  const Coloring chi = f.weakly_balanced(w, 4);
+  StrictifyStats stats;
+  strictify_almost(f.g, chi, w, f.pi, f.splitter, {}, &stats);
+  // Each level removes a constant weight fraction: levels = O(log n).
+  EXPECT_LE(stats.levels, 40);
+}
+
+TEST(Strictify, RequiresTotalColoring) {
+  Fixture f;
+  const std::vector<double> w(static_cast<std::size_t>(f.g.num_vertices()), 1.0);
+  Coloring partial(4, f.g.num_vertices());
+  EXPECT_THROW(strictify_almost(f.g, partial, w, f.pi, f.splitter),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmd

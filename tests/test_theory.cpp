@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/measures.hpp"
+#include "gen/grid.hpp"
+#include "separators/splittability.hpp"
+#include "test_helpers.hpp"
+#include "util/norms.hpp"
+
+namespace mmd {
+namespace {
+
+TEST(Theorem4Bound, KDecayMatchesExponent) {
+  // b_avg(k) proportional to k^{-1/p}: verify the exact exponent via the
+  // formula at several p.
+  const Graph g = make_grid_cube(2, 8);
+  for (double p : {1.5, 2.0, 3.0}) {
+    const double b2 = theorem4_bound(g, p, 1.0, 2).b_avg;
+    const double b16 = theorem4_bound(g, p, 1.0, 16).b_avg;
+    EXPECT_NEAR(b2 / b16, std::pow(8.0, 1.0 / p), 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Theorem4Bound, SigmaScalesLinearly) {
+  const Graph g = make_grid_cube(2, 8);
+  const auto b1 = theorem4_bound(g, 2.0, 1.0, 4);
+  const auto b3 = theorem4_bound(g, 2.0, 3.0, 4);
+  EXPECT_NEAR(b3.b_max / b1.b_max, 3.0, 1e-9);
+}
+
+TEST(Theorem4Bound, DeltaCTermDominatesForHugeK) {
+  const Graph g = make_grid_cube(2, 8);
+  const auto b = theorem4_bound(g, 2.0, 1.0, 1 << 20);
+  EXPECT_NEAR(b.b_max, b.delta_c, 0.05 * b.delta_c);
+}
+
+TEST(GridBound, LogShapeInPhi) {
+  // log^{1/d}: doubling log(phi) multiplies the d=1... for d=2, bound grows
+  // like sqrt(log phi).
+  const double a = grid_splittability_bound(2, 15.0);   // log2(16) = 4
+  const double b = grid_splittability_bound(2, 255.0);  // log2(256) = 8
+  EXPECT_NEAR(b / a, std::sqrt((8.0 + 1.0) / (4.0 + 1.0)), 0.02);
+}
+
+TEST(GridBound, DimensionPrefactor) {
+  EXPECT_NEAR(grid_splittability_bound(3, 1.0) / grid_splittability_bound(1, 1.0),
+              3.0 * std::pow(2.0, 1.0 / 3.0) / (1.0 * 2.0), 1e-9);
+}
+
+TEST(SplittingCost, DominatesSplitterGuarantee) {
+  // pi^{1/p}(W) >= sigma_p ||c|W||_p for every subset (Definition 10's
+  // purpose); spot-check on random sub-boxes of a cost-laden grid.
+  CostParams cp;
+  cp.model = CostModel::LogUniform;
+  cp.lo = 1.0;
+  cp.hi = 50.0;
+  const Graph g = make_grid_cube(2, 10, cp);
+  const double sigma = 2.0;
+  const auto pi = splitting_cost_measure(g, 2.0, sigma);
+  Membership in_w(g.num_vertices());
+  for (int x0 : {0, 3}) {
+    std::vector<Vertex> box;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const auto c = g.coords(v);
+      if (c[0] >= x0 && c[0] < x0 + 6 && c[1] < 7) box.push_back(v);
+    }
+    in_w.assign(box);
+    const double norm = induced_cost_stats(g, box, in_w, 2.0).norm_p;
+    EXPECT_GE(splitting_cost(pi, box, 2.0), sigma * norm - 1e-9);
+  }
+}
+
+TEST(HolderIdentity, QMatchesPaperUsage) {
+  // 1/p + 1/q = 1 for the pairs the paper uses: (2,2), (3/2,3), (d/(d-1),d).
+  for (double p : {1.5, 2.0, 4.0}) {
+    const double q = holder_conjugate(p);
+    EXPECT_NEAR(1.0 / p + 1.0 / q, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(holder_conjugate(grid_natural_p(3)), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/decompose.hpp"
+#include "core/verify.hpp"
+#include "gen/grid.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+TEST(Verify, AcceptsPipelineOutput) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  DecomposeOptions opt;
+  opt.k = 6;
+  const DecomposeResult res = decompose(g, w, opt);
+  const VerifyReport rep = verify_decomposition(g, w, res.coloring);
+  EXPECT_TRUE(rep.ok) << (rep.failures.empty() ? "" : rep.failures.front());
+  EXPECT_TRUE(rep.total);
+  EXPECT_TRUE(rep.strictly_balanced);
+  EXPECT_NEAR(rep.max_boundary, res.max_boundary, 1e-9);
+  EXPECT_EQ(rep.nonempty_classes, 6);
+}
+
+TEST(Verify, FlagsUncoloredVertices) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  Coloring chi(2, g.num_vertices());  // all uncolored
+  const VerifyReport rep = verify_decomposition(g, w, chi);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.total);
+  EXPECT_FALSE(rep.failures.empty());
+}
+
+TEST(Verify, FlagsImbalance) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  Coloring chi(2, g.num_vertices());
+  for (Vertex v = 0; v < 16; ++v) chi[v] = v < 15 ? 0 : 1;  // 15 vs 1
+  const VerifyReport rep = verify_decomposition(g, w, chi);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.total);
+  EXPECT_FALSE(rep.strictly_balanced);
+  EXPECT_DOUBLE_EQ(rep.max_dev, 7.0);
+  EXPECT_DOUBLE_EQ(rep.strict_bound, 0.5);
+}
+
+TEST(Verify, CountsFragmentedClasses) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> w(16, 1.0);
+  // Checkerboard: both classes maximally fragmented but balanced.
+  Coloring chi(2, g.num_vertices());
+  for (Vertex v = 0; v < 16; ++v) {
+    const auto c = g.coords(v);
+    chi[v] = (c[0] + c[1]) % 2;
+  }
+  const VerifyReport rep = verify_decomposition(g, w, chi);
+  EXPECT_TRUE(rep.ok);  // fragmentation is informational, not a failure
+  EXPECT_EQ(rep.fragmented_classes, 2);
+  // Halves: contiguous.
+  Coloring halves(2, g.num_vertices());
+  for (Vertex v = 0; v < 16; ++v) halves[v] = g.coords(v)[0] < 2 ? 0 : 1;
+  EXPECT_EQ(verify_decomposition(g, w, halves).fragmented_classes, 0);
+}
+
+TEST(Verify, RejectsArityMismatch) {
+  const Graph g = make_grid_cube(2, 4);
+  const std::vector<double> bad(3, 1.0);
+  Coloring chi(2, g.num_vertices());
+  EXPECT_THROW(verify_decomposition(g, bad, chi), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmd
