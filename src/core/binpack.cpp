@@ -36,7 +36,8 @@ struct Classes {
 std::vector<Vertex> peel_part(const Graph& g, std::vector<Vertex>& cls,
                               std::vector<double>& cls_weight, std::size_t idx,
                               std::span<const double> w, double lo, double hi,
-                              ISplitter& splitter, double* cut_cost) {
+                              ISplitter& splitter, double* cut_cost,
+                              DecomposeWorkspace& ws) {
   std::vector<Vertex> part;
   // Single heavy vertex?  Any vertex of weight >= lo qualifies: vertex
   // weights never exceed the global ||w||_inf, which every caller's upper
@@ -72,9 +73,9 @@ std::vector<Vertex> peel_part(const Graph& g, std::vector<Vertex>& cls,
     res.inside.push_back(cls.front());
     res.weight = w[static_cast<std::size_t>(cls.front())];
   }
-  Membership in_part(g.num_vertices());
-  in_part.assign(res.inside);
-  cls = set_difference(cls, in_part);
+  const auto in_part = ws.membership(g.num_vertices());
+  in_part->assign(res.inside);
+  cls = set_difference(cls, *in_part);
   cls_weight[idx] -= res.weight;
   return std::move(res.inside);
 }
@@ -83,7 +84,9 @@ std::vector<Vertex> peel_part(const Graph& g, std::vector<Vertex>& cls,
 
 Coloring binpack1(const Graph& g, const Coloring& chi0, std::span<const double> w,
                   std::span<const double> w1, double wmax, ISplitter& splitter,
-                  double* cut_cost) {
+                  double* cut_cost, DecomposeWorkspace* ws) {
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   const int k = chi0.k;
   MMD_REQUIRE(static_cast<int>(w1.size()) == k, "w1 arity mismatch");
   Classes cls(chi0, w);
@@ -107,7 +110,7 @@ Coloring binpack1(const Graph& g, const Coloring& chi0, std::span<const double> 
                   "binpack1 step 2 diverged");
       buffer.push_back(peel_part(g, cls.members[static_cast<std::size_t>(i)],
                                  cls.weight, static_cast<std::size_t>(i), w,
-                                 wmax, 2.0 * wmax, splitter, cut_cost));
+                                 wmax, 2.0 * wmax, splitter, cut_cost, wsr));
     }
   }
 
@@ -138,7 +141,9 @@ Coloring binpack1(const Graph& g, const Coloring& chi0, std::span<const double> 
 }
 
 Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w,
-                  ISplitter& splitter, double* cut_cost) {
+                  ISplitter& splitter, double* cut_cost, DecomposeWorkspace* ws) {
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   validate_coloring(g, chi, /*require_total=*/true);
   const int k = chi.k;
   const double wmax = norm_inf(w);
@@ -146,7 +151,7 @@ Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w
   const double w_star = total / k;
   if (wmax == 0.0 || k == 1) return chi;
   if (w_star < wmax / 2.0)  // degenerate regime: precondition of Prop 12 fails
-    return strict_by_chunking(g, chi, w, splitter, cut_cost);
+    return strict_by_chunking(g, chi, w, splitter, cut_cost, &wsr);
 
   Classes cls(chi, w);
   const double slack = 1e-9 * std::max(1.0, total);
@@ -160,7 +165,7 @@ Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w
                   "binpack2 step 2 diverged");
       buffer.push_back(peel_part(g, cls.members[static_cast<std::size_t>(i)],
                                  cls.weight, static_cast<std::size_t>(i), w,
-                                 wmax / 2.0, wmax, splitter, cut_cost));
+                                 wmax / 2.0, wmax, splitter, cut_cost, wsr));
     }
   }
 
@@ -201,7 +206,9 @@ Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w
 
 Coloring strict_by_chunking(const Graph& g, const Coloring& chi,
                             std::span<const double> w, ISplitter& splitter,
-                            double* cut_cost) {
+                            double* cut_cost, DecomposeWorkspace* ws) {
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   validate_coloring(g, chi, /*require_total=*/true);
   const int k = chi.k;
   const double wmax = norm_inf(w);
@@ -227,7 +234,8 @@ Coloring strict_by_chunking(const Graph& g, const Coloring& chi,
         break;
       }
       auto part = peel_part(g, m, cls.weight, static_cast<std::size_t>(i), w,
-                            wmax / 4.0, 3.0 * wmax / 4.0, splitter, cut_cost);
+                            wmax / 4.0, 3.0 * wmax / 4.0, splitter, cut_cost,
+                            wsr);
       const double pw = set_measure(w, part);
       parts.push_back({std::move(part), pw});
     }

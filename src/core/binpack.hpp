@@ -22,6 +22,7 @@
 // max <= min + max_item; combine with the totals identity).
 #pragma once
 
+#include "core/workspace.hpp"
 #include "graph/coloring.hpp"
 #include "separators/splitter.hpp"
 
@@ -33,17 +34,19 @@ namespace mmd {
 /// coloring exactly W0).
 Coloring binpack1(const Graph& g, const Coloring& chi0, std::span<const double> w,
                   std::span<const double> w1, double wmax, ISplitter& splitter,
-                  double* cut_cost = nullptr);
+                  double* cut_cost = nullptr, DecomposeWorkspace* ws = nullptr);
 
 /// Proposition 12.  `chi` must be a total coloring; result is strictly
 /// balanced.  Falls back to strict_by_chunking in the degenerate regime
 /// ||w||_1/k < ||w||_inf/2.
 Coloring binpack2(const Graph& g, const Coloring& chi, std::span<const double> w,
-                  ISplitter& splitter, double* cut_cost = nullptr);
+                  ISplitter& splitter, double* cut_cost = nullptr,
+                  DecomposeWorkspace* ws = nullptr);
 
 /// Provably strict fallback / ablation baseline (see file comment).
 Coloring strict_by_chunking(const Graph& g, const Coloring& chi,
                             std::span<const double> w, ISplitter& splitter,
-                            double* cut_cost = nullptr);
+                            double* cut_cost = nullptr,
+                            DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

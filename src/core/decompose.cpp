@@ -65,19 +65,22 @@ PhaseReport report_phase(const Graph& g, std::span<const double> w,
 }  // namespace
 
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
-                          const DecomposeOptions& options, ISplitter& splitter) {
+                          const DecomposeOptions& options, ISplitter& splitter,
+                          DecomposeWorkspace* ws) {
   MMD_REQUIRE(options.k >= 1, "k must be >= 1");
   MMD_REQUIRE(options.p > 1.0, "p must exceed 1");
   MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
               "weight arity mismatch");
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
 
   if (options.init == InitMethod::Best) {
     DecomposeOptions paper = options;
     paper.init = InitMethod::Paper;
     DecomposeOptions bisect = options;
     bisect.init = InitMethod::Bisection;
-    DecomposeResult a = decompose(g, w, paper, splitter);
-    DecomposeResult b = decompose(g, w, bisect, splitter);
+    DecomposeResult a = decompose(g, w, paper, splitter, &wsr);
+    DecomposeResult b = decompose(g, w, bisect, splitter, &wsr);
     // Both are strictly balanced (or throw); keep the cheaper boundary.
     return a.max_boundary <= b.max_boundary ? a : b;
   }
@@ -101,10 +104,12 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   } else {
     const std::vector<MeasureRef> user{MeasureRef(w)};
     if (options.balance_boundary) {
-      chi = minmax_balance(g, options.k, pi, user, splitter, options.rebalance);
+      chi = minmax_balance(g, options.k, pi, user, splitter, options.rebalance,
+                           nullptr, &wsr);
     } else {
       std::vector<MeasureRef> ms{MeasureRef(pi), MeasureRef(w)};
-      chi = multibalance(g, options.k, ms, splitter, options.rebalance);
+      chi = multibalance(g, options.k, ms, splitter, options.rebalance,
+                         nullptr, &wsr);
     }
   }
   out.phase_multibalance = report_phase(g, w, chi, phase_timer.seconds());
@@ -116,14 +121,15 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   phase_timer.reset();
   if (options.use_strictify && options.k > 1 &&
       !balance_report(w, chi).almost_strictly_balanced) {
-    chi = strictify_almost(g, chi, w, pi, splitter, options.strictify);
+    chi = strictify_almost(g, chi, w, pi, splitter, options.strictify,
+                           nullptr, {}, &wsr);
   }
   out.phase_strictify = report_phase(g, w, chi, phase_timer.seconds());
 
   // Phase 3: Proposition 12.
   phase_timer.reset();
   if (options.use_binpack2 && options.k > 1) {
-    chi = binpack2(g, chi, w, splitter);
+    chi = binpack2(g, chi, w, splitter, nullptr, &wsr);
   }
   out.phase_binpack = report_phase(g, w, chi, phase_timer.seconds());
 
@@ -132,7 +138,7 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   // preserve is the one the caller asked for.
   phase_timer.reset();
   if (options.use_refinement && options.use_binpack2 && options.k > 1) {
-    out.refine_stats = minmax_refine(g, chi, w, options.refine);
+    out.refine_stats = minmax_refine(g, chi, w, options.refine, &wsr.refine);
   }
   out.phase_refine = report_phase(g, w, chi, phase_timer.seconds());
 
@@ -146,15 +152,19 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
 }
 
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
-                          const DecomposeOptions& options) {
+                          const DecomposeOptions& options,
+                          DecomposeWorkspace* ws) {
   const auto splitter = make_default_splitter(g, options.splitter);
-  return decompose(g, w, options, *splitter);
+  return decompose(g, w, options, *splitter, ws);
 }
 
 MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
                                      std::span<const MeasureRef> extra_measures,
                                      const DecomposeOptions& options,
-                                     ISplitter& splitter) {
+                                     ISplitter& splitter,
+                                     DecomposeWorkspace* ws) {
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   MMD_REQUIRE(options.k >= 1, "k must be >= 1");
   MMD_REQUIRE(options.p > 1.0, "p must exceed 1");
   MMD_REQUIRE(static_cast<Vertex>(psi.size()) == g.num_vertices(),
@@ -175,17 +185,17 @@ MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi
   user.reserve(extra_measures.size() + 1);
   user.push_back(psi);
   user.insert(user.end(), extra_measures.begin(), extra_measures.end());
-  Coloring chi =
-      minmax_balance(g, options.k, pi, user, splitter, options.rebalance);
+  Coloring chi = minmax_balance(g, options.k, pi, user, splitter,
+                                options.rebalance, nullptr, &wsr);
 
   // Strictify psi while keeping the extra measures light in moved parts.
   if (options.use_strictify && options.k > 1)
     chi = strictify_almost(g, chi, psi, pi, splitter, options.strictify,
-                           nullptr, extra_measures);
+                           nullptr, extra_measures, &wsr);
   if (options.use_binpack2 && options.k > 1)
-    chi = binpack2(g, chi, psi, splitter);
+    chi = binpack2(g, chi, psi, splitter, nullptr, &wsr);
   if (options.use_refinement && options.use_binpack2 && options.k > 1)
-    minmax_refine(g, chi, psi, options.refine);
+    minmax_refine(g, chi, psi, options.refine, &wsr.refine);
 
   out.coloring = std::move(chi);
   out.psi_balance = balance_report(psi, out.coloring);
@@ -199,9 +209,10 @@ MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi
 
 MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
                                      std::span<const MeasureRef> extra_measures,
-                                     const DecomposeOptions& options) {
+                                     const DecomposeOptions& options,
+                                     DecomposeWorkspace* ws) {
   const auto splitter = make_default_splitter(g, options.splitter);
-  return decompose_multi(g, psi, extra_measures, options, *splitter);
+  return decompose_multi(g, psi, extra_measures, options, *splitter, ws);
 }
 
 }  // namespace mmd

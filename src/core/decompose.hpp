@@ -82,13 +82,17 @@ struct DecomposeResult {
   double total_seconds = 0.0;
 };
 
-/// Decompose with an externally provided splitter.
+/// Decompose with an externally provided splitter.  `ws` (optional) lends
+/// every phase its scratch arenas; reusing one workspace across repeated
+/// calls makes the steady-state hot path allocation-free.
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
-                          const DecomposeOptions& options, ISplitter& splitter);
+                          const DecomposeOptions& options, ISplitter& splitter,
+                          DecomposeWorkspace* ws = nullptr);
 
 /// Decompose with an internally constructed splitter per options.splitter.
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
-                          const DecomposeOptions& options);
+                          const DecomposeOptions& options,
+                          DecomposeWorkspace* ws = nullptr);
 
 /// The multi-balanced variant of Theorem 4 (Conclusion): a k-coloring that
 /// is strictly balanced w.r.t. `psi`, weakly balanced w.r.t. every extra
@@ -107,12 +111,14 @@ struct MultiDecomposeResult {
 
 MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
                                      std::span<const MeasureRef> extra_measures,
-                                     const DecomposeOptions& options);
+                                     const DecomposeOptions& options,
+                                     DecomposeWorkspace* ws = nullptr);
 
 MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
                                      std::span<const MeasureRef> extra_measures,
                                      const DecomposeOptions& options,
-                                     ISplitter& splitter);
+                                     ISplitter& splitter,
+                                     DecomposeWorkspace* ws = nullptr);
 
 /// The splitter decompose() would construct for this graph and options.
 std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,

@@ -8,12 +8,14 @@
 namespace mmd {
 
 FastResult decompose_fast(const Graph& g, std::span<const double> w,
-                          const FastOptions& options) {
+                          const FastOptions& options, DecomposeWorkspace* ws) {
   MMD_REQUIRE(options.inner.k >= 1, "k must be >= 1");
   MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
               "weight arity mismatch");
   Timer timer;
   FastResult out;
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
 
   // Coarsen until small enough (or no further progress).
   struct Level {
@@ -43,7 +45,7 @@ FastResult decompose_fast(const Graph& g, std::span<const double> w,
   // the strict window there is loose — re-established at the finest level.
   DecomposeOptions inner = options.inner;
   inner.use_refinement = true;
-  Coloring chi = decompose(*cur_graph, cur_w, inner).coloring;
+  Coloring chi = decompose(*cur_graph, cur_w, inner, &wsr).coloring;
 
   // Uncoarsen with per-level refinement (loose balance slack on interior
   // levels: coarse nodes are heavy, exactness comes at the end).
@@ -55,7 +57,7 @@ FastResult decompose_fast(const Graph& g, std::span<const double> w,
     MinmaxRefineOptions ro;
     ro.max_passes = options.refine_passes_per_level;
     ro.balance_slack = i == 0 ? 1.0 : 2.0;
-    minmax_refine(level_graph, chi, level_w, ro);
+    minmax_refine(level_graph, chi, level_w, ro, &wsr.refine);
   }
   if (levels.empty()) {
     // Nothing was coarsened; chi is already a full-resolution result.
@@ -64,10 +66,10 @@ FastResult decompose_fast(const Graph& g, std::span<const double> w,
   // Close the strict window at full resolution.
   if (options.inner.k > 1) {
     const auto splitter = make_default_splitter(g, options.inner.splitter);
-    chi = binpack2(g, chi, w, *splitter);
+    chi = binpack2(g, chi, w, *splitter, nullptr, &wsr);
     MinmaxRefineOptions ro;
     ro.max_passes = options.refine_passes_per_level;
-    minmax_refine(g, chi, w, ro);
+    minmax_refine(g, chi, w, ro, &wsr.refine);
   }
 
   out.coloring = std::move(chi);

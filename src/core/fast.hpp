@@ -32,6 +32,7 @@ struct FastResult {
 };
 
 FastResult decompose_fast(const Graph& g, std::span<const double> w,
-                          const FastOptions& options);
+                          const FastOptions& options,
+                          DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

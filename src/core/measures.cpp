@@ -12,9 +12,11 @@ std::vector<double> splitting_cost_measure(const Graph& g, double p,
   MMD_REQUIRE(sigma_p > 0.0, "sigma_p must be positive");
   std::vector<double> pi(static_cast<std::size_t>(g.num_vertices()), 0.0);
   const double sig_pow = std::pow(sigma_p, p);
+  const bool square = p == 2.0;  // the default exponent; pow() is costly
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     double s = 0.0;
-    for (EdgeId e : g.incident_edges(v)) s += std::pow(g.edge_cost(e), p);
+    for (const HalfEdge& h : g.incidence(v))
+      s += square ? h.cost * h.cost : std::pow(h.cost, p);
     pi[static_cast<std::size_t>(v)] = sig_pow * s / 2.0;
   }
   return pi;

@@ -8,7 +8,7 @@ namespace {
 
 TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
                             std::span<const MeasureRef> measures,
-                            ISplitter& splitter) {
+                            ISplitter& splitter, DecomposeWorkspace& ws) {
   const std::size_t r = measures.size();
   MMD_ASSERT(r >= 1, "multi_split recursion needs measures");
   const MeasureRef last = measures[r - 1];
@@ -21,9 +21,12 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
   req.target = set_measure(last, w_list) / 2.0;
   SplitResult u1 = splitter.split(req);
 
-  Membership in_u1(g.num_vertices());
-  in_u1.assign(u1.inside);
-  std::vector<Vertex> u2 = set_difference(w_list, in_u1);
+  std::vector<Vertex> u2;
+  {
+    const auto in_u1 = ws.membership(g.num_vertices());
+    in_u1->assign(u1.inside);
+    u2 = set_difference(w_list, *in_u1);
+  }
 
   TwoColoring out;
   out.cut_cost = u1.boundary_cost;
@@ -35,8 +38,8 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
 
   // Recurse on both halves with the remaining measures.
   const std::span<const MeasureRef> rest = measures.first(r - 1);
-  TwoColoring half[2] = {multi_split_rec(g, u1.inside, rest, splitter),
-                         multi_split_rec(g, u2, rest, splitter)};
+  TwoColoring half[2] = {multi_split_rec(g, u1.inside, rest, splitter, ws),
+                         multi_split_rec(g, u2, rest, splitter, ws)};
   out.cut_cost += half[0].cut_cost + half[1].cut_cost;
 
   // Relabel each half so that side b keeps at most half of U_b's mass of
@@ -60,13 +63,14 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
 
 TwoColoring multi_split(const Graph& g, std::span<const Vertex> w_list,
                         std::span<const MeasureRef> measures,
-                        ISplitter& splitter) {
+                        ISplitter& splitter, DecomposeWorkspace* ws) {
   MMD_REQUIRE(!measures.empty(), "multi_split needs at least one measure");
   for (const MeasureRef& m : measures)
     MMD_REQUIRE(static_cast<Vertex>(m.size()) == g.num_vertices(),
                 "measure arity mismatch");
   if (w_list.empty()) return {};
-  return multi_split_rec(g, w_list, measures, splitter);
+  DecomposeWorkspace local;
+  return multi_split_rec(g, w_list, measures, splitter, ws ? *ws : local);
 }
 
 }  // namespace mmd

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/workspace.hpp"
 #include "separators/splitter.hpp"
 
 namespace mmd {
@@ -29,9 +30,10 @@ struct TwoColoring {
 };
 
 /// Lemma 8.  measures must be non-empty; measures[0] is Phi(1) (the
-/// primary measure with the strongest guarantee).
+/// primary measure with the strongest guarantee).  `ws` (optional) lends
+/// the recursion its membership scratch.
 TwoColoring multi_split(const Graph& g, std::span<const Vertex> w_list,
                         std::span<const MeasureRef> measures,
-                        ISplitter& splitter);
+                        ISplitter& splitter, DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

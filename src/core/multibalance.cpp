@@ -16,8 +16,10 @@ void accumulate(MultibalanceStats* stats, const RebalanceStats& round) {
 Coloring multibalance(const Graph& g, int k,
                       std::span<const MeasureRef> measures, ISplitter& splitter,
                       const RebalanceOptions& options,
-                      MultibalanceStats* stats) {
+                      MultibalanceStats* stats, DecomposeWorkspace* ws) {
   MMD_REQUIRE(k >= 1, "need k >= 1");
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   // Induction base (r = 0): the trivial coloring.  Every vertex in class 0
   // has zero boundary cost.
   Coloring chi(k, g.num_vertices());
@@ -28,7 +30,8 @@ Coloring multibalance(const Graph& g, int k,
   // guarantee for the non-primary measures).
   for (std::size_t j = measures.size(); j-- > 0;) {
     RebalanceStats round;
-    chi = rebalance(g, chi, measures.subspan(j), splitter, options, &round);
+    chi = rebalance(g, chi, measures.subspan(j), splitter, options, &round,
+                    &wsr);
     accumulate(stats, round);
   }
   return chi;
@@ -37,15 +40,17 @@ Coloring multibalance(const Graph& g, int k,
 Coloring minmax_balance(const Graph& g, int k, std::span<const double> pi,
                         std::span<const MeasureRef> user_measures,
                         ISplitter& splitter, const RebalanceOptions& options,
-                        MultibalanceStats* stats) {
+                        MultibalanceStats* stats, DecomposeWorkspace* ws) {
   MMD_REQUIRE(static_cast<Vertex>(pi.size()) == g.num_vertices(),
               "pi arity mismatch");
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   // Phase 1 (Lemma 6): balance (pi, user measures...).
   std::vector<MeasureRef> phase1;
   phase1.reserve(user_measures.size() + 1);
   phase1.push_back(pi);
   for (const MeasureRef& m : user_measures) phase1.push_back(m);
-  Coloring chi = multibalance(g, k, phase1, splitter, options, stats);
+  Coloring chi = multibalance(g, k, phase1, splitter, options, stats, &wsr);
 
   // Phase 2 (Proposition 7): balance the boundary costs of chi, modeled as
   // the bichromatic measure Psi, on top of everything else.
@@ -56,7 +61,8 @@ Coloring minmax_balance(const Graph& g, int k, std::span<const double> pi,
   for (const MeasureRef& m : phase1) phase2.push_back(m);
 
   RebalanceStats round;
-  Coloring chi_hat = rebalance(g, chi, phase2, splitter, options, &round);
+  Coloring chi_hat =
+      rebalance(g, chi, phase2, splitter, options, &round, &wsr);
   accumulate(stats, round);
   return chi_hat;
 }

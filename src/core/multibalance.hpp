@@ -28,7 +28,8 @@ struct MultibalanceStats {
 Coloring multibalance(const Graph& g, int k,
                       std::span<const MeasureRef> measures, ISplitter& splitter,
                       const RebalanceOptions& options = {},
-                      MultibalanceStats* stats = nullptr);
+                      MultibalanceStats* stats = nullptr,
+                      DecomposeWorkspace* ws = nullptr);
 
 /// Proposition 7: multi-balanced coloring with bounded maximum boundary
 /// cost.  `pi` is the splitting cost measure (Definition 10); user
@@ -37,6 +38,7 @@ Coloring minmax_balance(const Graph& g, int k, std::span<const double> pi,
                         std::span<const MeasureRef> user_measures,
                         ISplitter& splitter,
                         const RebalanceOptions& options = {},
-                        MultibalanceStats* stats = nullptr);
+                        MultibalanceStats* stats = nullptr,
+                        DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

@@ -55,4 +55,12 @@ ExtractedPart extract_hitting_part(const Graph& g, std::span<const Vertex> u_lis
 void boundary_measure_of(const Graph& g, std::span<const Vertex> u_list,
                          std::vector<double>& scratch);
 
+/// Scratch-reusing variant: `touched` must be the u_list of the previous
+/// call on this scratch (so only those entries need re-zeroing) and is
+/// updated to the current one; `in_u` is clobbered.  O(|U| deg) per call
+/// instead of O(n).
+void boundary_measure_of(const Graph& g, std::span<const Vertex> u_list,
+                         std::vector<double>& scratch,
+                         std::vector<Vertex>& touched, Membership& in_u);
+
 }  // namespace mmd

@@ -10,7 +10,10 @@ namespace mmd {
 
 Coloring rebalance(const Graph& g, const Coloring& chi,
                    std::span<const MeasureRef> measures, ISplitter& splitter,
-                   const RebalanceOptions& options, RebalanceStats* stats) {
+                   const RebalanceOptions& options, RebalanceStats* stats,
+                   DecomposeWorkspace* ws) {
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   MMD_REQUIRE(!measures.empty(), "rebalance needs at least one measure");
   validate_coloring(g, chi, /*require_total=*/true);
   const int k = chi.k;
@@ -112,12 +115,15 @@ Coloring rebalance(const Graph& g, const Coloring& chi,
     SplitResult u = splitter.split(req);
     st.cut_cost += u.boundary_cost;
 
-    Membership in_u(g.num_vertices());
-    in_u.assign(u.inside);
-    std::vector<Vertex> w_out = set_difference(x_class, in_u);
+    std::vector<Vertex> w_out;
+    {
+      const auto in_u = wsr.membership(g.num_vertices());
+      in_u->assign(u.inside);
+      w_out = set_difference(x_class, *in_u);
+    }
 
     // Step (4): Lemma 8 multi-balanced 2-coloring of the remainder.
-    const TwoColoring halves = multi_split(g, w_out, measures, splitter);
+    const TwoColoring halves = multi_split(g, w_out, measures, splitter, &wsr);
     st.cut_cost += halves.cut_cost;
 
     // Step (5)/(6): finalize i with U, hand halves to x1/x2, mark pending.

@@ -38,10 +38,12 @@ struct RebalanceOptions {
 };
 
 /// Lemma 9.  `chi` must be a total k-coloring of the whole graph; the
-/// returned coloring is total as well.
+/// returned coloring is total as well.  `ws` (optional) lends the Move
+/// loop and the Lemma 8 recursion their membership scratch.
 Coloring rebalance(const Graph& g, const Coloring& chi,
                    std::span<const MeasureRef> measures, ISplitter& splitter,
                    const RebalanceOptions& options = {},
-                   RebalanceStats* stats = nullptr);
+                   RebalanceStats* stats = nullptr,
+                   DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

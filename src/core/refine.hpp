@@ -9,31 +9,53 @@
 //       boundary cost)
 // — so every accepted move preserves all of Theorem 4's guarantees while
 // typically shaving 20-50% off the realized maximum boundary cost
-// (ablation: bench_e5's "ours" vs "ours, no refine" rows).  Only the two
-// classes incident to a move change boundary cost, so a pass is linear in
-// the boundary size.
+// (ablation: bench_e5's "ours" vs "ours, no refine" rows).
+//
+// Two engines share the move-acceptance rule:
+//   * Worklist (default): an explicit FIFO of boundary vertices, seeded
+//     from cut edges and re-fed only with the neighborhood of accepted
+//     moves; the running maximum class boundary is tracked incrementally
+//     with a threshold counter over bc[], so evaluating a candidate costs
+//     O(deg) instead of the sweep's O(k + deg).  A round ends when the
+//     queue drains; rounds repeat (re-seeding from the current boundary)
+//     until a round accepts no move, which is exactly the sweep's
+//     fixpoint condition.
+//   * Sweep: the original full-pass reference engine, kept for the
+//     equivalence suite and the ablation benches.
 #pragma once
 
+#include "core/workspace.hpp"
 #include "graph/coloring.hpp"
 
 namespace mmd {
+
+enum class RefineEngine {
+  Worklist,  ///< boundary worklist + incremental max tracking (default)
+  Sweep,     ///< full-sweep reference engine (the seed implementation)
+};
 
 struct MinmaxRefineOptions {
   int max_passes = 8;
   /// Keep |w(class) - avg| within this multiple of the Definition 1 slack
   /// (1.0 = strict balance; larger values explore the almost-strict room).
   double balance_slack = 1.0;
+  RefineEngine engine = RefineEngine::Worklist;
 };
 
 struct MinmaxRefineStats {
   int moves = 0;
+  int rounds = 0;         ///< worklist: seed rounds run (sweep: passes)
+  std::int64_t pops = 0;  ///< worklist: queue pops (work measure)
   double max_boundary_before = 0.0;
   double max_boundary_after = 0.0;
 };
 
 /// Refine a total coloring in place.  Requires chi total; returns stats.
+/// When `ws` is non-null its buffers are reused (and grown on demand), so
+/// steady-state calls perform no heap allocation.
 MinmaxRefineStats minmax_refine(const Graph& g, Coloring& chi,
                                 std::span<const double> w,
-                                const MinmaxRefineOptions& options = {});
+                                const MinmaxRefineOptions& options = {},
+                                RefineWorkspace* ws = nullptr);
 
 }  // namespace mmd

@@ -11,14 +11,15 @@ namespace {
 
 /// deg_W measure: degree of v inside G[W] (Section 5 uses it to force the
 /// geometric size decrease of condition (c)).
-std::vector<double> degree_measure(const Graph& g, std::span<const Vertex> w_list) {
+std::vector<double> degree_measure(const Graph& g, std::span<const Vertex> w_list,
+                                   DecomposeWorkspace& ws) {
   std::vector<double> deg(static_cast<std::size_t>(g.num_vertices()), 0.0);
-  Membership in_w(g.num_vertices());
-  in_w.assign(w_list);
+  const auto in_w = ws.membership(g.num_vertices());
+  in_w->assign(w_list);
   for (Vertex v : w_list) {
     int d = 0;
-    for (Vertex u : g.neighbors(v))
-      if (in_w.contains(u)) ++d;
+    for (Vertex u : g.neighbors_unchecked(v))
+      if (in_w->contains(u)) ++d;
     deg[static_cast<std::size_t>(v)] = d;
   }
   return deg;
@@ -30,7 +31,10 @@ ShrinkOutput shrink_once(const Graph& g, std::span<const Vertex> w_list,
                          const Coloring& chi, std::span<const double> w,
                          std::span<const double> pi, ISplitter& splitter,
                          const ShrinkParams& params,
-                         std::span<const MeasureRef> preserve) {
+                         std::span<const MeasureRef> preserve,
+                         DecomposeWorkspace* ws) {
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
   MMD_REQUIRE(params.eps > 0.0 && params.eps < 1.0, "eps in (0,1)");
   const int k = chi.k;
   MMD_REQUIRE(k >= 1, "coloring must have k >= 1");
@@ -55,10 +59,13 @@ ShrinkOutput shrink_once(const Graph& g, std::span<const Vertex> w_list,
   for (double x : cw) big_m = std::max(big_m, 2.0 * x / psi_star + 1.0);
 
   ShrinkOutput out;
-  const std::vector<double> deg_w = degree_measure(g, w_list);
+  const std::vector<double> deg_w = degree_measure(g, w_list, wsr);
   std::vector<double> bnd_scratch;  // boundary measure of the current donor
+  std::vector<Vertex> bnd_touched;  // entries of bnd_scratch to re-zero
+  const auto bnd_membership = wsr.membership(g.num_vertices());
 
-  Membership removed(g.num_vertices());
+  const auto removed_lease = wsr.membership(g.num_vertices());
+  Membership& removed = *removed_lease;
   auto erase_part = [&](int color, std::span<const Vertex> part) {
     removed.assign(part);
     auto& c = cls[static_cast<std::size_t>(color)];
@@ -78,7 +85,7 @@ ShrinkOutput shrink_once(const Graph& g, std::span<const Vertex> w_list,
   // deg_W, and the boundary measure of the donor class (Cor. 16-18's
   // Phi(r)).
   auto extraction_measures = [&](std::span<const Vertex> donor) {
-    boundary_measure_of(g, donor, bnd_scratch);
+    boundary_measure_of(g, donor, bnd_scratch, bnd_touched, *bnd_membership);
     std::vector<MeasureRef> ms{pi, deg_w, bnd_scratch};
     ms.insert(ms.end(), preserve.begin(), preserve.end());
     return ms;

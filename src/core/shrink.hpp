@@ -43,6 +43,7 @@ ShrinkOutput shrink_once(const Graph& g, std::span<const Vertex> w_list,
                          const Coloring& chi, std::span<const double> w,
                          std::span<const double> pi, ISplitter& splitter,
                          const ShrinkParams& params = {},
-                         std::span<const MeasureRef> preserve = {});
+                         std::span<const MeasureRef> preserve = {},
+                         DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

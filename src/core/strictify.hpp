@@ -47,6 +47,7 @@ Coloring strictify_almost(const Graph& g, const Coloring& chi,
                           std::span<const double> w, std::span<const double> pi,
                           ISplitter& splitter, const StrictifyParams& params = {},
                           StrictifyStats* stats = nullptr,
-                          std::span<const MeasureRef> preserve = {});
+                          std::span<const MeasureRef> preserve = {},
+                          DecomposeWorkspace* ws = nullptr);
 
 }  // namespace mmd

@@ -1,0 +1,87 @@
+// Reusable scratch arenas for the decomposition pipeline.
+//
+// The recursive phases (rebalance, shrink-and-conquer, multi_split,
+// binpack) all need graph-sized Membership markers and class-sized cost
+// vectors.  Allocating them per recursion level turns the paper's
+// O(t(|G|) log k) running time into an allocator benchmark; a
+// DecomposeWorkspace owns a pool of these objects so that every level —
+// and every repeated decompose() call that reuses the workspace — runs
+// allocation-free in steady state.  Leases are RAII: the object returns to
+// the pool at scope exit, which matches the recursion's stack discipline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace mmd {
+
+/// Scratch state of the min-max refinement engines (refine.hpp).  All
+/// buffers grow monotonically; repeated refinement of instances of the
+/// same size performs no heap allocation after the first call.
+struct RefineWorkspace {
+  std::vector<double> bc;                 ///< per-class boundary costs
+  std::vector<double> cw;                 ///< per-class weights
+  std::vector<double> toward;             ///< per-class incident edge mass
+  std::vector<std::int32_t> touched;      ///< classes seen around a vertex
+  std::vector<std::uint32_t> class_seen;  ///< epoch stamps over classes
+  std::uint32_t class_epoch = 0;
+  std::vector<Vertex> queue;              ///< per-round boundary seeds
+  std::vector<Vertex> heap;               ///< id-ordered re-enqueue heap
+  std::vector<Vertex> dirty;              ///< vertices dirtied this round
+  std::vector<Vertex> cand;               ///< seed candidates, next round
+  std::vector<std::uint32_t> in_queue;    ///< epoch stamps over vertices
+  std::uint32_t queue_epoch = 0;
+};
+
+class DecomposeWorkspace {
+ public:
+  DecomposeWorkspace() = default;
+  // Non-copyable: leases hold stable pointers into the pool.
+  DecomposeWorkspace(const DecomposeWorkspace&) = delete;
+  DecomposeWorkspace& operator=(const DecomposeWorkspace&) = delete;
+
+  /// RAII lease of a pooled Membership, cleared and sized for n vertices.
+  class MembershipLease {
+   public:
+    MembershipLease(DecomposeWorkspace& ws, Vertex n) : ws_(ws), m_(ws.acquire(n)) {}
+    ~MembershipLease() { ws_.release(m_); }
+    MembershipLease(const MembershipLease&) = delete;
+    MembershipLease& operator=(const MembershipLease&) = delete;
+    Membership& operator*() const { return *m_; }
+    Membership* operator->() const { return m_; }
+
+   private:
+    DecomposeWorkspace& ws_;
+    Membership* m_;
+  };
+
+  /// Lease a Membership able to mark vertices 0..n-1 (empty on acquire).
+  MembershipLease membership(Vertex n) { return MembershipLease(*this, n); }
+
+  RefineWorkspace refine;
+
+ private:
+  friend class MembershipLease;
+
+  Membership* acquire(Vertex n) {
+    if (free_.empty()) {
+      owned_.push_back(std::make_unique<Membership>(n));
+      free_.push_back(owned_.back().get());
+    }
+    Membership* m = free_.back();
+    free_.pop_back();
+    m->ensure(n);
+    m->clear();
+    return m;
+  }
+  void release(Membership* m) { free_.push_back(m); }
+
+  std::vector<std::unique_ptr<Membership>> owned_;
+  std::vector<Membership*> free_;
+};
+
+}  // namespace mmd

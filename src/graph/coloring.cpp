@@ -36,13 +36,15 @@ std::vector<double> class_boundary_costs(const Graph& g, const Coloring& chi) {
   MMD_REQUIRE(static_cast<Vertex>(chi.color.size()) == g.num_vertices(),
               "coloring arity mismatch");
   std::vector<double> out(static_cast<std::size_t>(chi.k), 0.0);
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const auto [u, v] = g.endpoints(e);
-    const std::int32_t cu = chi[u], cv = chi[v];
-    if (cu == cv) continue;
-    const double c = g.edge_cost(e);
-    if (cu >= 0) out[static_cast<std::size_t>(cu)] += c;
-    if (cv >= 0) out[static_cast<std::size_t>(cv)] += c;
+  // Per-vertex incidence sweep: each bichromatic edge is seen once from
+  // each endpoint and contributes to that endpoint's class.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::int32_t c = chi[v];
+    if (c < 0) continue;
+    double cross = 0.0;
+    for (const HalfEdge& h : g.incidence(v))
+      if (chi[h.to] != c) cross += h.cost;
+    out[static_cast<std::size_t>(c)] += cross;
   }
   return out;
 }

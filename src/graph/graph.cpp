@@ -1,23 +1,29 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
 namespace mmd {
 
-bool Graph::is_grid_graph() const {
-  if (!has_coords()) return false;
-  for (EdgeId e = 0; e < m_; ++e) {
-    const auto [u, v] = endpoints(e);
+namespace {
+
+bool compute_is_grid_graph(const Graph& g) {
+  if (!g.has_coords()) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
     long l1 = 0;
-    const auto cu = coords(u);
-    const auto cv = coords(v);
-    for (int i = 0; i < dim_; ++i) l1 += std::abs(static_cast<long>(cu[i]) - cv[i]);
+    const auto cu = g.coords(u);
+    const auto cv = g.coords(v);
+    for (int i = 0; i < g.dim(); ++i)
+      l1 += std::abs(static_cast<long>(cu[i]) - cv[i]);
     if (l1 != 1) return false;
   }
   return true;
 }
+
+}  // namespace
 
 GraphBuilder::GraphBuilder(Vertex num_vertices) : n_(num_vertices) {
   MMD_REQUIRE(num_vertices >= 0, "negative vertex count");
@@ -113,6 +119,12 @@ Graph GraphBuilder::build() {
     g.eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = e;
   }
 
+  g.half_.resize(static_cast<std::size_t>(2) * uniq.size());
+  for (std::size_t i = 0; i < g.adj_.size(); ++i) {
+    const EdgeId e = g.eid_[i];
+    g.half_[i] = {g.adj_[i], e, g.ecost_[static_cast<std::size_t>(e)]};
+  }
+
   g.wdeg_.assign(static_cast<std::size_t>(n_), 0.0);
   g.max_wdeg_ = 0.0;
   g.max_deg_ = 0;
@@ -123,6 +135,10 @@ Graph GraphBuilder::build() {
     g.max_wdeg_ = std::max(g.max_wdeg_, s);
     g.max_deg_ = std::max(g.max_deg_, g.degree(v));
   }
+
+  g.grid_graph_ = compute_is_grid_graph(g);
+  static std::atomic<std::uint64_t> next_uid{1};
+  g.uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
 
   edges_.clear();
   n_ = 0;

@@ -26,6 +26,15 @@ namespace mmd {
 using Vertex = std::int32_t;
 using EdgeId = std::int32_t;
 
+/// One directed copy of an undirected edge, stored in the incidence list of
+/// its tail: target vertex, edge id, and cost fused into a single stride so
+/// inner loops touch one stream instead of three (adj_/eid_/ecost_).
+struct HalfEdge {
+  Vertex to;
+  EdgeId id;
+  double cost;
+};
+
 class Graph {
  public:
   Graph() = default;
@@ -44,6 +53,37 @@ class Graph {
   std::span<const EdgeId> incident_edges(Vertex v) const {
     check_vertex(v);
     return {eid_.data() + xadj_[v], eid_.data() + xadj_[v + 1]};
+  }
+
+  // --- hot-path accessors ----------------------------------------------
+  // Interior loops of the decomposition pipeline have already validated
+  // their vertex ids at the API boundary; these variants check only under
+  // MMD_ASSERT (Debug builds) so Release code pays no branch per access.
+
+  std::span<const Vertex> neighbors_unchecked(Vertex v) const {
+    assert_vertex(v);
+    return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+  }
+
+  std::span<const EdgeId> incident_edges_unchecked(Vertex v) const {
+    assert_vertex(v);
+    return {eid_.data() + xadj_[v], eid_.data() + xadj_[v + 1]};
+  }
+
+  /// Fused (neighbor, edge id, cost) triples of v in one contiguous stride.
+  std::span<const HalfEdge> incidence(Vertex v) const {
+    assert_vertex(v);
+    return {half_.data() + xadj_[v], half_.data() + xadj_[v + 1]};
+  }
+
+  double edge_cost_unchecked(EdgeId e) const {
+    assert_edge(e);
+    return ecost_[static_cast<std::size_t>(e)];
+  }
+
+  double vertex_weight_unchecked(Vertex v) const {
+    assert_vertex(v);
+    return vweight_[static_cast<std::size_t>(v)];
   }
 
   int degree(Vertex v) const {
@@ -89,9 +129,23 @@ class Graph {
             static_cast<std::size_t>(dim_)};
   }
 
+  /// Raw coordinate array (row-major, dim() entries per vertex); hot-path
+  /// counterpart of coords() with MMD_ASSERT-only checking.
+  const std::int32_t* coords_unchecked(Vertex v) const {
+    assert_vertex(v);
+    MMD_ASSERT(dim_ > 0, "graph has no coordinates");
+    return coords_.data() + static_cast<std::size_t>(v) * dim_;
+  }
+
   /// True iff coordinates are present and every edge joins vertices at
   /// L1-distance exactly 1 (grid graph in the sense of Section 6).
-  bool is_grid_graph() const;
+  /// Precomputed by GraphBuilder::build (the graph is immutable).
+  bool is_grid_graph() const { return grid_graph_; }
+
+  /// Identity of this graph's (immutable) content, unique per build();
+  /// copies share it.  Caches key on this instead of the address, which
+  /// can be reused by a different graph.
+  std::uint64_t uid() const { return uid_; }
 
  private:
   friend class GraphBuilder;
@@ -102,12 +156,19 @@ class Graph {
   void check_edge(EdgeId e) const {
     MMD_REQUIRE(e >= 0 && e < m_, "edge id out of range");
   }
+  void assert_vertex([[maybe_unused]] Vertex v) const {
+    MMD_ASSERT(v >= 0 && v < n_, "vertex id out of range");
+  }
+  void assert_edge([[maybe_unused]] EdgeId e) const {
+    MMD_ASSERT(e >= 0 && e < m_, "edge id out of range");
+  }
 
   Vertex n_ = 0;
   EdgeId m_ = 0;
   std::vector<std::int64_t> xadj_;  // size n+1
   std::vector<Vertex> adj_;         // size 2m
   std::vector<EdgeId> eid_;         // size 2m
+  std::vector<HalfEdge> half_;      // size 2m, fused (adj, eid, cost)
   std::vector<Vertex> etail_, ehead_;  // size m each, tail < head
   std::vector<double> ecost_;          // size m
   std::vector<double> vweight_;        // size n
@@ -116,6 +177,8 @@ class Graph {
   int max_deg_ = 0;
   int dim_ = 0;
   std::vector<std::int32_t> coords_;  // size n*dim
+  bool grid_graph_ = false;
+  std::uint64_t uid_ = 0;
 };
 
 /// Incremental builder.  Duplicate edges are coalesced by summing their

@@ -59,26 +59,18 @@ double set_measure_max(std::span<const double> mu, std::span<const Vertex> w_lis
 double boundary_cost(const Graph& g, std::span<const Vertex> u_list,
                      const Membership& in_u) {
   double s = 0.0;
-  for (Vertex v : u_list) {
-    const auto nbrs = g.neighbors(v);
-    const auto eids = g.incident_edges(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-      if (!in_u.contains(nbrs[i])) s += g.edge_cost(eids[i]);
-  }
+  for (Vertex v : u_list)
+    for (const HalfEdge& h : g.incidence(v))
+      if (!in_u.contains(h.to)) s += h.cost;
   return s;
 }
 
 double boundary_cost_within(const Graph& g, std::span<const Vertex> u_list,
                             const Membership& in_u, const Membership& in_w) {
   double s = 0.0;
-  for (Vertex v : u_list) {
-    const auto nbrs = g.neighbors(v);
-    const auto eids = g.incident_edges(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const Vertex u = nbrs[i];
-      if (in_w.contains(u) && !in_u.contains(u)) s += g.edge_cost(eids[i]);
-    }
-  }
+  for (Vertex v : u_list)
+    for (const HalfEdge& h : g.incidence(v))
+      if (in_w.contains(h.to) && !in_u.contains(h.to)) s += h.cost;
   return s;
 }
 

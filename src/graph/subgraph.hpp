@@ -24,7 +24,18 @@ namespace mmd {
 /// Epoch-stamped membership marker over the vertices of a fixed graph.
 class Membership {
  public:
+  Membership() = default;
   explicit Membership(Vertex n) : stamp_(static_cast<std::size_t>(n), 0) {}
+
+  /// Grow (never shrink) to cover n vertices; new vertices are outside the
+  /// current subset.  Lets long-lived scratch instances be re-targeted at
+  /// graphs of different sizes without reallocating per use.
+  void ensure(Vertex n) {
+    if (static_cast<std::size_t>(n) > stamp_.size())
+      stamp_.resize(static_cast<std::size_t>(n), 0);
+  }
+
+  Vertex size() const { return static_cast<Vertex>(stamp_.size()); }
 
   /// Start a fresh (empty) subset; O(1) amortized.
   void clear() {

@@ -11,6 +11,14 @@ int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
   Membership in_w(g.num_vertices());
   in_w.assign(w_list);
   Membership in_u(g.num_vertices());
+  return fm_refine_split(g, w_list, weights, target, result, options, in_w,
+                         in_u);
+}
+
+int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
+                    std::span<const double> weights, double target,
+                    SplitResult& result, const FmOptions& options,
+                    const Membership& in_w, Membership& in_u) {
   in_u.assign(result.inside);
 
   double total = 0.0, wmax = 0.0;
@@ -28,17 +36,13 @@ int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
   // the cut reduction if v switches sides within G[W].
   auto gain = [&](Vertex v) {
     const bool inside = in_u.contains(v);
-    const auto nbrs = g.neighbors(v);
-    const auto eids = g.incident_edges(v);
     double toward_other = 0.0, toward_own = 0.0;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const Vertex u = nbrs[i];
-      if (!in_w.contains(u)) continue;
-      const double c = g.edge_cost(eids[i]);
-      if (in_u.contains(u) == inside)
-        toward_own += c;
+    for (const HalfEdge& h : g.incidence(v)) {
+      if (!in_w.contains(h.to)) continue;
+      if (in_u.contains(h.to) == inside)
+        toward_own += h.cost;
       else
-        toward_other += c;
+        toward_other += h.cost;
     }
     return toward_other - toward_own;
   };

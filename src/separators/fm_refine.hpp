@@ -23,4 +23,11 @@ int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
                     std::span<const double> weights, double target,
                     SplitResult& result, const FmOptions& options = {});
 
+/// Scratch-reusing variant: `in_w` must already represent exactly w_list;
+/// `in_u` is clobbered.  No allocation beyond growing `result.inside`.
+int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
+                    std::span<const double> weights, double target,
+                    SplitResult& result, const FmOptions& options,
+                    const Membership& in_w, Membership& in_u);
+
 }  // namespace mmd

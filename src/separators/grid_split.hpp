@@ -21,6 +21,7 @@
 // normalization ||1/c||_inf = 1).
 #pragma once
 
+#include "separators/orderings.hpp"
 #include "separators/splitter.hpp"
 
 namespace mmd {
@@ -38,9 +39,36 @@ class GridSplitter final : public ISplitter {
   /// Number of recursion levels used by the last split (for the E4 bench).
   int last_depth() const { return last_depth_; }
 
+  /// Lean per-level edge record: the low coordinate on the edge's axis
+  /// (which alone determines the Lemma 20 residue) plus its reduced cost.
+  struct EdgeRec {
+    std::int32_t low;
+    double cost;
+  };
+
+  /// Reusable cell-sort buffers (a recursion level is done with them
+  /// before it recurses, so one set serves the whole recursion).
+  struct Scratch {
+    std::vector<EdgeRec> edges;
+    std::vector<double> bucket;
+    std::vector<std::int64_t> cell_key;
+    std::vector<std::uint64_t> packed;
+    std::vector<std::int32_t> perm;
+    std::vector<std::uint32_t> count;
+    std::vector<std::uint64_t> cf0, cf1;  // per-axis cell_floor tables
+  };
+
  private:
   bool strict_;
   int last_depth_ = 0;
+  // Persistent per-instance scratch: membership maps would otherwise cost
+  // O(|V|) per split regardless of |W|.
+  OrderingCache cache_;
+  Membership in_w_, in_u_, in_level_;
+  Scratch scratch_;
+  // Cached global minimum positive edge cost of the bound graph.
+  std::uint64_t minpos_uid_ = 0;
+  double min_pos_ = 0.0;
 };
 
 /// Check that U is monotone in W: no x in W \ U is componentwise dominated

@@ -19,6 +19,73 @@ std::vector<Vertex> pseudo_peripheral_bfs_order(const Graph& g,
 }
 
 namespace {
+
+/// BFS over G[W] from `source`, restarting on unreached component heads so
+/// every vertex of w_list appears exactly once in `out`.  A vertex is
+/// "open" while state[v] == tag; visiting clears the tag, so the inner
+/// loop pays a single random load per neighbor instead of separate
+/// membership and visited probes.  The caller must (re)tag w_list before
+/// each call.
+void bfs_into(const Graph& g, std::span<const Vertex> w_list, Vertex source,
+              std::uint32_t tag, BfsScratch& scratch, std::vector<Vertex>& out) {
+  out.clear();
+  std::uint32_t* state = scratch.state.data();
+  scratch.queue.clear();
+  std::size_t head = 0;
+  auto visit = [&](Vertex v) {
+    state[static_cast<std::size_t>(v)] = tag - 1;
+    scratch.queue.push_back(v);
+  };
+  if (source >= 0) {
+    MMD_REQUIRE(state[static_cast<std::size_t>(source)] == tag,
+                "bfs source not in subset");
+    visit(source);
+  }
+  std::size_t restart = 0;
+  while (out.size() < w_list.size()) {
+    if (head == scratch.queue.size()) {
+      while (restart < w_list.size() &&
+             state[static_cast<std::size_t>(w_list[restart])] != tag)
+        ++restart;
+      if (restart == w_list.size()) break;
+      visit(w_list[restart]);
+    }
+    const Vertex v = scratch.queue[head++];
+    out.push_back(v);
+    for (const Vertex u : g.neighbors_unchecked(v))
+      if (state[static_cast<std::size_t>(u)] == tag) visit(u);
+  }
+}
+
+}  // namespace
+
+void pseudo_peripheral_bfs_order_into(const Graph& g,
+                                      std::span<const Vertex> w_list,
+                                      BfsScratch& scratch,
+                                      std::vector<Vertex>& out) {
+  out.clear();
+  if (w_list.empty()) return;
+  scratch.state.resize(static_cast<std::size_t>(g.num_vertices()), 0);
+  // Fresh tags per sweep; skip 0 and wrap-reset so stale entries never
+  // collide with a live tag.
+  auto next_tag = [&] {
+    if (++scratch.tag == 0) {
+      std::fill(scratch.state.begin(), scratch.state.end(), 0u);
+      scratch.tag = 1;
+    }
+    return scratch.tag;
+  };
+  std::uint32_t tag = next_tag();
+  for (Vertex v : w_list) scratch.state[static_cast<std::size_t>(v)] = tag;
+  bfs_into(g, w_list, w_list.front(), tag, scratch, out);
+  MMD_ASSERT(out.size() == w_list.size(), "bfs must cover subset");
+  const Vertex peripheral = out.back();
+  tag = next_tag();
+  for (Vertex v : w_list) scratch.state[static_cast<std::size_t>(v)] = tag;
+  bfs_into(g, w_list, peripheral, tag, scratch, out);
+}
+
+namespace {
 int coord_compare(const Graph& g, Vertex a, Vertex b) {
   const auto ca = g.coords(a);
   const auto cb = g.coords(b);
@@ -90,6 +157,255 @@ std::vector<Vertex> morton_order(const Graph& g, std::span<const Vertex> w_list)
     return shifted(a, best_dim) < shifted(b, best_dim);
   });
   return order;
+}
+
+namespace {
+
+/// Spread the low 32 bits of x to the even bit positions of a 64-bit word.
+std::uint64_t interleave_even(std::uint64_t x) {
+  x &= 0xffffffffull;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffull;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+/// Sort `order` (stably) by precomputed 64-bit keys via LSD radix,
+/// skipping byte positions on which no key differs.  Stability makes the
+/// result identical to a comparator sort with vertex-id tie-break, because
+/// `order` starts in id order.
+void sort_by_key(std::span<const std::uint64_t> key, std::vector<Vertex>& order) {
+  const std::size_t s = order.size();
+  if (s < 2) return;
+  std::uint64_t all_or = 0, all_and = ~0ull;
+  for (const std::uint64_t k : key) {
+    all_or |= k;
+    all_and &= k;
+  }
+  const std::uint64_t varying = all_or ^ all_and;  // bytes where keys differ
+  std::vector<Vertex> buf(s);
+  Vertex* a = order.data();
+  Vertex* b = buf.data();
+  std::uint32_t count[256];
+  for (int byte = 0; byte < 8; ++byte) {
+    const int shift = 8 * byte;
+    if (((varying >> shift) & 0xff) == 0) continue;
+    std::fill(std::begin(count), std::end(count), 0u);
+    for (std::size_t i = 0; i < s; ++i)
+      ++count[(key[static_cast<std::size_t>(a[i])] >> shift) & 0xff];
+    std::uint32_t sum = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t next = sum + c;
+      c = sum;
+      sum = next;
+    }
+    for (std::size_t i = 0; i < s; ++i)
+      b[count[(key[static_cast<std::size_t>(a[i])] >> shift) & 0xff]++] = a[i];
+    std::swap(a, b);
+  }
+  if (a != order.data()) std::copy(a, a + s, order.data());
+}
+
+}  // namespace
+
+void OrderingCache::rebind(const Graph& g) {
+  g_ = &g;
+  uid_ = g.uid();
+  n_ = g.num_vertices();
+  if (!g.has_coords()) {
+    num_orders_ = 0;
+    perm_.clear();
+    rank_.clear();
+    return;
+  }
+  const int dim = g.dim();
+  num_orders_ = dim;  // lex, axis 1..dim-1
+  std::vector<Vertex> all(static_cast<std::size_t>(n_));
+  for (Vertex v = 0; v < n_; ++v) all[static_cast<std::size_t>(v)] = v;
+
+  // In two dimensions every order has an exact 64-bit key (two offset
+  // 32-bit coordinates fit one word), so the n log n global sorts run on
+  // integers instead of the coordinate comparators.  Higher dimensions
+  // fall back to the comparator-based orderings.
+  std::vector<std::uint64_t> key;
+  std::int64_t off[2] = {0, 0};
+  if (dim == 2) {
+    key.resize(static_cast<std::size_t>(n_));
+    for (int d = 0; d < 2; ++d) {
+      std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+      for (Vertex v = 0; v < n_; ++v)
+        lo = std::min(lo, static_cast<std::int64_t>(g.coords(v)[static_cast<std::size_t>(d)]));
+      off[d] = n_ > 0 ? lo : 0;
+    }
+  }
+  auto shifted2 = [&](Vertex v, int d) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(g.coords(v)[static_cast<std::size_t>(d)]) -
+        off[d]);
+  };
+
+  perm_.resize(static_cast<std::size_t>(num_orders_) * n_);
+  rank_.resize(static_cast<std::size_t>(num_orders_) * n_);
+  for (int idx = 0; idx < num_orders_; ++idx) {
+    std::vector<Vertex> order;
+    if (dim == 2) {
+      for (Vertex v = 0; v < n_; ++v) {
+        std::uint64_t k;
+        if (idx == 0) {  // lexicographic: (x0, x1)
+          k = (shifted2(v, 0) << 32) | shifted2(v, 1);
+        } else {  // axis 1: (x1, x0)
+          k = (shifted2(v, 1) << 32) | shifted2(v, 0);
+        }
+        key[static_cast<std::size_t>(v)] = k;
+      }
+      order = all;
+      sort_by_key(key, order);
+    } else if (idx == 0) {
+      order = lexicographic_order(g, all);
+    } else {
+      order = axis_order(g, all, idx);
+    }
+    const std::size_t base = static_cast<std::size_t>(idx) * n_;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      perm_[base + i] = order[i];
+      rank_[base + static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
+    }
+  }
+}
+
+void OrderingCache::subset_order(int idx, std::span<const Vertex> w_list,
+                                 const Membership* in_w,
+                                 std::vector<Vertex>& out) const {
+  MMD_REQUIRE(g_ != nullptr && idx >= 0 && idx < num_orders_,
+              "ordering cache not bound / index out of range");
+  const std::size_t base = static_cast<std::size_t>(idx) * n_;
+  // A gather over the global order costs one membership probe per graph
+  // vertex; the sort path costs ~log2 |W| integer compares per subset
+  // vertex.  Pick whichever is cheaper for this subset size.
+  if (in_w != nullptr &&
+      static_cast<std::size_t>(n_) <= 16 * w_list.size()) {
+    out.clear();
+    const Vertex* perm = perm_.data() + base;
+    for (Vertex i = 0; i < n_; ++i) {
+      const Vertex v = perm[i];
+      if (in_w->contains(v)) out.push_back(v);
+    }
+    MMD_ASSERT(out.size() == w_list.size(),
+               "in_w does not represent w_list");
+    return;
+  }
+  out.assign(w_list.begin(), w_list.end());
+  const std::int32_t* rank = rank_.data() + base;
+  if (out.size() >= 128) {
+    radix_sort_by_rank(rank, out);
+  } else {
+    std::sort(out.begin(), out.end(), [rank](Vertex a, Vertex b) {
+      return rank[static_cast<std::size_t>(a)] < rank[static_cast<std::size_t>(b)];
+    });
+  }
+}
+
+void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
+                                        std::vector<Vertex>& out) const {
+  MMD_REQUIRE(g_ != nullptr && g_->has_coords(),
+              "ordering cache not bound to a coordinate graph");
+  const Graph& g = *g_;
+  if (g.dim() != 2) {
+    out = morton_order(g, w_list);
+    return;
+  }
+  // Two dimensions: anchor at the subset minima (morton_order's offsets),
+  // interleave into exact 64-bit keys with dim 0 on the high lanes (the
+  // comparator's most-significant-differing-dim rule), and radix-sort the
+  // (key, vertex) pairs over the bytes on which keys actually differ.
+  std::int64_t lo0 = std::numeric_limits<std::int64_t>::max(), lo1 = lo0;
+  for (const Vertex v : w_list) {
+    const std::int32_t* c = g.coords_unchecked(v);
+    lo0 = std::min(lo0, static_cast<std::int64_t>(c[0]));
+    lo1 = std::min(lo1, static_cast<std::int64_t>(c[1]));
+  }
+  const std::size_t s = w_list.size();
+  radix_key_.resize(std::max(radix_key_.size(), s));
+  radix_buf_.resize(std::max(radix_buf_.size(), s));
+  out.assign(w_list.begin(), w_list.end());
+  std::uint64_t all_or = 0, all_and = ~0ull;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::int32_t* c = g.coords_unchecked(out[i]);
+    const std::uint64_t k =
+        (interleave_even(static_cast<std::uint64_t>(c[0] - lo0)) << 1) |
+        interleave_even(static_cast<std::uint64_t>(c[1] - lo1));
+    radix_key_[i] = k;
+    all_or |= k;
+    all_and &= k;
+  }
+  const std::uint64_t varying = all_or ^ all_and;
+  // Pack (key byte stream, payload) pairs implicitly: sort parallel
+  // (radix_key_, out) arrays byte by byte, stably.
+  std::uint64_t* ka = radix_key_.data();
+  std::uint64_t* kb = radix_buf_.data();
+  radix_vbuf_.resize(std::max(radix_vbuf_.size(), s));
+  Vertex* va = out.data();
+  Vertex* vb = radix_vbuf_.data();
+  std::uint32_t count[256];
+  for (int byte = 0; byte < 8; ++byte) {
+    const int shift = 8 * byte;
+    if (((varying >> shift) & 0xff) == 0) continue;
+    std::fill(std::begin(count), std::end(count), 0u);
+    for (std::size_t i = 0; i < s; ++i) ++count[(ka[i] >> shift) & 0xff];
+    std::uint32_t sum = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t next = sum + c;
+      c = sum;
+      sum = next;
+    }
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::uint32_t pos = count[(ka[i] >> shift) & 0xff]++;
+      kb[pos] = ka[i];
+      vb[pos] = va[i];
+    }
+    std::swap(ka, kb);
+    std::swap(va, vb);
+  }
+  if (va != out.data()) std::copy(va, va + s, out.data());
+}
+
+void OrderingCache::radix_sort_by_rank(const std::int32_t* rank,
+                                       std::vector<Vertex>& out) const {
+  // Gather (rank << 32 | vertex) keys once — one random load per element —
+  // then LSD radix with 8-bit digits over the rank bytes: ceil(log256 n)
+  // stable counting passes of sequential O(|W| + 256) work each.
+  const std::size_t s = out.size();
+  radix_key_.resize(std::max(radix_key_.size(), s));
+  radix_buf_.resize(std::max(radix_buf_.size(), s));
+  std::uint64_t* a = radix_key_.data();
+  std::uint64_t* b = radix_buf_.data();
+  for (std::size_t i = 0; i < s; ++i) {
+    const Vertex v = out[i];
+    a[i] = (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(rank[static_cast<std::size_t>(v)]))
+            << 32) |
+           static_cast<std::uint32_t>(v);
+  }
+  int passes = 0;
+  for (Vertex top = n_ - 1; top > 0; top >>= 8) ++passes;
+  std::uint32_t count[256];
+  for (int p = 0; p < passes; ++p) {
+    const int shift = 32 + 8 * p;
+    std::fill(std::begin(count), std::end(count), 0u);
+    for (std::size_t i = 0; i < s; ++i) ++count[(a[i] >> shift) & 0xff];
+    std::uint32_t sum = 0;
+    for (std::uint32_t& c : count) {
+      const std::uint32_t next = sum + c;
+      c = sum;
+      sum = next;
+    }
+    for (std::size_t i = 0; i < s; ++i) b[count[(a[i] >> shift) & 0xff]++] = a[i];
+    std::swap(a, b);
+  }
+  for (std::size_t i = 0; i < s; ++i)
+    out[i] = static_cast<Vertex>(static_cast<std::uint32_t>(a[i]));
 }
 
 }  // namespace mmd

@@ -32,4 +32,72 @@ std::vector<Vertex> axis_order(const Graph& g, std::span<const Vertex> w_list,
 /// Sort W along the Morton (Z-) curve (requires coords).
 std::vector<Vertex> morton_order(const Graph& g, std::span<const Vertex> w_list);
 
+/// Reusable BFS scratch for pseudo_peripheral_bfs_order_into: a tag array
+/// doubling as subset-membership and visited marker, plus the FIFO.
+struct BfsScratch {
+  std::vector<std::uint32_t> state;
+  std::uint32_t tag = 0;
+  std::vector<Vertex> queue;
+};
+
+/// pseudo_peripheral_bfs_order into a caller buffer, reusing scratch (its
+/// tag array doubles as the subset marker); no allocation in steady state.
+void pseudo_peripheral_bfs_order_into(const Graph& g,
+                                      std::span<const Vertex> w_list,
+                                      BfsScratch& scratch,
+                                      std::vector<Vertex>& out);
+
+/// Per-graph cache of the axis-aligned sweep orders (lexicographic plus
+/// one per non-leading axis).  The splitters re-derive subset orders from
+/// the cached global ranks in near-linear integer-key time instead of
+/// re-running the coordinate comparators on every split — the dominant
+/// cost of the seed pipeline.  The Morton order is *not* cached: its
+/// quality depends on anchoring the Z-curve at the subset's own bounding
+/// box, so subset_morton_order computes it per subset (with interleaved
+/// keys and a radix sort in two dimensions).
+class OrderingCache {
+ public:
+  /// Bind to g, computing the global orders once; no-op when already bound
+  /// to this graph.  Without coordinates the cache is empty.
+  void bind(const Graph& g) {
+    if (g_ != nullptr && uid_ == g.uid()) {
+      g_ = &g;  // same immutable content; the old instance may be gone
+      return;
+    }
+    rebind(g);
+  }
+
+  /// Number of cached orders (0 without coordinates, dim() with).
+  int num_orders() const { return num_orders_; }
+
+  /// Restriction of cached order `idx` to w_list, into `out` (overwritten).
+  /// When `in_w` is non-null it must represent exactly w_list; large
+  /// subsets are then gathered by one scan of the cached global order
+  /// instead of a sort.
+  void subset_order(int idx, std::span<const Vertex> w_list,
+                    const Membership* in_w, std::vector<Vertex>& out) const;
+
+  /// Morton (Z-curve) order of w_list anchored at its own bounding box —
+  /// the same curve as morton_order(g, w_list), computed with interleaved
+  /// keys + radix in two dimensions (comparator fallback otherwise).
+  /// Vertices with identical coordinates keep their w_list order (the
+  /// radix is stable) instead of morton_order's id tie-break.
+  void subset_morton_order(std::span<const Vertex> w_list,
+                           std::vector<Vertex>& out) const;
+
+ private:
+  void rebind(const Graph& g);
+  void radix_sort_by_rank(const std::int32_t* rank, std::vector<Vertex>& out) const;
+
+  const Graph* g_ = nullptr;
+  std::uint64_t uid_ = 0;
+  Vertex n_ = 0;
+  int num_orders_ = 0;
+  std::vector<Vertex> perm_;        // num_orders blocks of n (sorted order)
+  std::vector<std::int32_t> rank_;  // num_orders blocks of n (inverse perm)
+  // Radix scratch for subset_order / subset_morton_order.
+  mutable std::vector<std::uint64_t> radix_key_, radix_buf_;
+  mutable std::vector<Vertex> radix_vbuf_;
+};
+
 }  // namespace mmd

@@ -34,43 +34,55 @@ std::size_t best_prefix(std::span<const Vertex> order,
 SplitResult PrefixSplitter::split(const SplitRequest& request) {
   MMD_REQUIRE(request.g != nullptr, "null graph in split request");
   const Graph& g = *request.g;
-  Membership in_w(g.num_vertices());
-  in_w.assign(request.w_list);
-
-  std::vector<std::vector<Vertex>> orders;
-  if (options_.use_bfs)
-    orders.push_back(pseudo_peripheral_bfs_order(g, request.w_list, in_w));
-  if (options_.use_coordinate_sweeps && g.has_coords()) {
-    orders.push_back(lexicographic_order(g, request.w_list));
-    for (int axis = 1; axis < g.dim(); ++axis)
-      orders.push_back(axis_order(g, request.w_list, axis));
-    if (g.dim() >= 2) orders.push_back(morton_order(g, request.w_list));
-  }
-  if (orders.empty())  // coordinate-free fallback: id order
-    orders.emplace_back(request.w_list.begin(), request.w_list.end());
+  in_w_.ensure(g.num_vertices());
+  in_u_.ensure(g.num_vertices());
+  in_w_.assign(request.w_list);
 
   SplitResult best;
   bool have_best = false;
-  Membership in_u(g.num_vertices());
-  for (const auto& order : orders) {
+  auto consider = [&](std::span<const Vertex> order) {
     const std::size_t len = best_prefix(order, request.weights, request.target);
     const std::span<const Vertex> prefix(order.data(), len);
-    in_u.assign(prefix);
-    SplitResult cand;
-    cand.inside.assign(prefix.begin(), prefix.end());
-    cand.weight = set_measure(request.weights, prefix);
-    cand.boundary_cost = boundary_cost_within(g, prefix, in_u, in_w);
-    if (!have_best || cand.boundary_cost < best.boundary_cost) {
-      best = std::move(cand);
+    in_u_.assign(prefix);
+    const double cost = boundary_cost_within(g, prefix, in_u_, in_w_);
+    if (!have_best || cost < best.boundary_cost) {
+      best.inside.assign(prefix.begin(), prefix.end());
+      best.weight = set_measure(request.weights, prefix);
+      best.boundary_cost = cost;
       have_best = true;
     }
+  };
+
+  if (options_.use_bfs) {
+    pseudo_peripheral_bfs_order_into(g, request.w_list, bfs_, order_);
+    consider(order_);
+  }
+  if (options_.use_coordinate_sweeps && g.has_coords()) {
+    cache_.bind(g);
+    // Same sweep family as the seed: lexicographic, per-axis (cached
+    // global orders restricted to W), and — in dimension >= 2, where it
+    // differs from lexicographic — Morton anchored at W's bounding box.
+    int sweeps = cache_.num_orders() + (g.dim() >= 2 ? 1 : 0);
+    if (options_.max_sweeps > 0) sweeps = std::min(sweeps, options_.max_sweeps);
+    for (int idx = 0; idx < sweeps; ++idx) {
+      if (idx == cache_.num_orders()) {
+        cache_.subset_morton_order(request.w_list, order_);
+      } else {
+        cache_.subset_order(idx, request.w_list, &in_w_, order_);
+      }
+      consider(order_);
+    }
+  }
+  if (!have_best) {  // coordinate-free fallback: id order
+    consider(request.w_list);
   }
 
   if (options_.refine && !best.inside.empty() &&
       best.inside.size() < request.w_list.size()) {
     FmOptions fm;
     fm.max_passes = options_.fm_max_passes;
-    fm_refine_split(g, request.w_list, request.weights, request.target, best, fm);
+    fm_refine_split(g, request.w_list, request.weights, request.target, best,
+                    fm, in_w_, in_u_);
   }
   return best;
 }

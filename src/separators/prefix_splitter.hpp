@@ -10,6 +10,7 @@
 // window (see fm_refine.hpp).
 #pragma once
 
+#include "separators/orderings.hpp"
 #include "separators/splitter.hpp"
 
 namespace mmd {
@@ -17,6 +18,9 @@ namespace mmd {
 struct PrefixSplitterOptions {
   bool use_bfs = true;
   bool use_coordinate_sweeps = true;  ///< lex + per-axis + Morton if coords
+  /// Cap on the number of coordinate sweep orders tried per split (in the
+  /// order lex, axes, Morton); <= 0 means all of them.
+  int max_sweeps = 0;
   bool refine = true;                 ///< FM local refinement pass
   int fm_max_passes = 3;
 };
@@ -31,6 +35,14 @@ class PrefixSplitter final : public ISplitter {
 
  private:
   PrefixSplitterOptions options_;
+  // Per-instance scratch (ISplitter contract: splitters may keep scratch).
+  // The coordinate sweep orders are cached per graph; memberships and
+  // order buffers persist across splits so the steady-state per-split cost
+  // is O(|W| log |W|), independent of |V|.
+  OrderingCache cache_;
+  Membership in_w_, in_u_;
+  BfsScratch bfs_;
+  std::vector<Vertex> order_;
 };
 
 /// Split a single ordering by the better-of-two-prefixes rule; exposed for

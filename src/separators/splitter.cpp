@@ -39,11 +39,32 @@ SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
   Membership in_w(g.num_vertices());
   in_w.assign(w_list);
   Membership in_u(g.num_vertices());
+  return evaluate_split(g, w_list, weights, inside, in_w, in_u);
+}
+
+SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
+                           std::span<const double> weights,
+                           std::span<const Vertex> inside,
+                           const Membership& in_w, Membership& in_u) {
+  (void)w_list;
   in_u.assign(inside);
   SplitResult out;
   out.inside.assign(inside.begin(), inside.end());
   out.weight = set_measure(weights, inside);
   out.boundary_cost = boundary_cost_within(g, inside, in_u, in_w);
+  return out;
+}
+
+SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
+                           std::span<const double> weights,
+                           std::vector<Vertex>&& inside, const Membership& in_w,
+                           Membership& in_u) {
+  (void)w_list;
+  in_u.assign(inside);
+  SplitResult out;
+  out.inside = std::move(inside);
+  out.weight = set_measure(weights, out.inside);
+  out.boundary_cost = boundary_cost_within(g, out.inside, in_u, in_w);
   return out;
 }
 

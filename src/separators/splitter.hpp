@@ -61,4 +61,17 @@ SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
                            std::span<const double> weights,
                            std::span<const Vertex> inside);
 
+/// Scratch-reusing variant: `in_w` must already represent exactly w_list;
+/// `in_u` is clobbered.
+SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
+                           std::span<const double> weights,
+                           std::span<const Vertex> inside,
+                           const Membership& in_w, Membership& in_u);
+
+/// Move variant: adopts `inside` instead of copying it.
+SplitResult evaluate_split(const Graph& g, std::span<const Vertex> w_list,
+                           std::span<const double> weights,
+                           std::vector<Vertex>&& inside, const Membership& in_w,
+                           Membership& in_u);
+
 }  // namespace mmd

@@ -1,0 +1,194 @@
+// Performance runner for the decompose/refine hot path.
+//
+// Emits one JSON document with minimum-of-reps wall times for
+//   * the E6 runtime suite shapes: decompose on 2-D grids over growing n
+//     (k = 16) and growing k (side 96), both "cold" (a fresh splitter per
+//     call, the seed's only mode) and "warm" (persistent splitter +
+//     DecomposeWorkspace — the zero-allocation steady state this PR adds);
+//   * a min-max refinement microbench on random colorings, per engine.
+//
+// The same source compiles against the seed tree (which predates
+// DecomposeWorkspace and RefineEngine); the extra modes are feature-
+// detected so before/after JSONs can be produced with one binary each and
+// merged by tools/bench_merge.py into BENCH_PR1.json.
+//
+// Usage: bench_runner [output.json] [--label name]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "baselines/random_part.hpp"
+#include "core/decompose.hpp"
+#include "core/refine.hpp"
+#include "gen/grid.hpp"
+#include "util/timer.hpp"
+
+#if __has_include("core/workspace.hpp")
+#define MMD_BENCH_HAS_WORKSPACE 1
+#include "core/workspace.hpp"
+#endif
+
+namespace {
+
+using namespace mmd;
+
+template <typename T, typename = void>
+struct HasEngine : std::false_type {};
+template <typename T>
+struct HasEngine<T, std::void_t<decltype(T::engine)>> : std::true_type {};
+
+// Set the refinement engine when the library has one (overload ranking:
+// the int overload wins when `o.engine` is well-formed).
+template <typename Opt>
+auto set_engine(Opt& o, bool worklist, int) -> decltype((void)o.engine) {
+  o.engine = worklist ? decltype(o.engine)::Worklist : decltype(o.engine)::Sweep;
+}
+template <typename Opt>
+void set_engine(Opt&, bool, long) {}
+
+struct Row {
+  std::string suite, config;
+  int side = 0, n = 0, k = 0;
+  std::string mode;
+  double ms = 0.0;
+  double max_boundary = 0.0;
+  long moves = -1;
+};
+
+std::vector<Row> g_rows;
+
+int reps_for(int side) { return side >= 256 ? 7 : 9; }
+
+void bench_decompose(const char* config, int side, int k) {
+  const Graph g = make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  DecomposeOptions opt;
+  opt.k = k;
+  const int reps = reps_for(side);
+
+  Row cold{"decompose_grid2d", config, side, g.num_vertices(), k,
+           "cold",            1e300,  0.0};
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const DecomposeResult res = decompose(g, w, opt);
+    cold.ms = std::min(cold.ms, t.seconds() * 1e3);
+    cold.max_boundary = res.max_boundary;
+  }
+  g_rows.push_back(cold);
+
+  Row warm{"decompose_grid2d", config, side, g.num_vertices(), k,
+           "warm",            1e300,  0.0};
+  const auto splitter = make_default_splitter(g, opt.splitter);
+#ifdef MMD_BENCH_HAS_WORKSPACE
+  DecomposeWorkspace ws;
+#endif
+  for (int r = 0; r < reps + 1; ++r) {  // first warm call fills the pools
+    Timer t;
+#ifdef MMD_BENCH_HAS_WORKSPACE
+    const DecomposeResult res = decompose(g, w, opt, *splitter, &ws);
+#else
+    const DecomposeResult res = decompose(g, w, opt, *splitter);
+#endif
+    if (r == 0) continue;
+    warm.ms = std::min(warm.ms, t.seconds() * 1e3);
+    warm.max_boundary = res.max_boundary;
+  }
+  g_rows.push_back(warm);
+}
+
+void bench_refine(const char* suite, int side, int k, const Coloring& base,
+                  const MinmaxRefineOptions& base_opt) {
+  const Graph g = make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  MinmaxRefineOptions opt = base_opt;
+
+  auto run_mode = [&](const char* mode) {
+    Row row{suite, "refine", side, g.num_vertices(), k, mode, 1e300, 0.0};
+    for (int r = 0; r < 7; ++r) {
+      Coloring chi = base;
+      Timer t;
+      const MinmaxRefineStats stats = minmax_refine(g, chi, w, opt);
+      row.ms = std::min(row.ms, t.seconds() * 1e3);
+      row.max_boundary = stats.max_boundary_after;
+      row.moves = stats.moves;
+    }
+    g_rows.push_back(row);
+  };
+
+  if constexpr (HasEngine<MinmaxRefineOptions>::value) {
+    set_engine(opt, true, 0);
+    run_mode("worklist");
+    set_engine(opt, false, 0);
+    run_mode("sweep");
+  } else {
+    run_mode("sweep");  // the seed's only engine
+  }
+}
+
+/// Hill climbing from a random coloring: the boundary is dense, so this
+/// stresses raw per-candidate cost (the seed pays O(k + deg) per vertex).
+void bench_refine_random(int side, int k) {
+  const Graph g = make_grid_cube(2, side);
+  MinmaxRefineOptions opt;
+  opt.max_passes = 20;
+  opt.balance_slack = 60.0;
+  bench_refine("refine_random", side, k, random_coloring(g, k, 3), opt);
+}
+
+/// Re-refining an already decomposed coloring: the boundary is sparse, the
+/// regime of decompose()'s final pass and every decompose_fast uncoarsening
+/// level — where the worklist skips the quiescent interior entirely.
+void bench_refine_converged(int side, int k) {
+  const Graph g = make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  DecomposeOptions dopt;
+  dopt.k = k;
+  dopt.use_refinement = false;
+  const Coloring base = decompose(g, w, dopt).coloring;
+  bench_refine("refine_converged", side, k, base, MinmaxRefineOptions{});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "bench_out.json";
+  const char* label = "current";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  for (const int side : {16, 32, 64, 128, 256}) bench_decompose("n-sweep", side, 16);
+  for (const int k : {2, 8, 32, 128}) bench_decompose("k-sweep", 96, k);
+  for (const int k : {16, 64}) bench_refine_random(128, k);
+  for (const int k : {16, 64}) bench_refine_converged(192, k);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"rows\": [\n", label);
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    const std::string moves =
+        r.moves >= 0 ? ", \"moves\": " + std::to_string(r.moves) : "";
+    std::fprintf(f,
+                 "    {\"suite\": \"%s\", \"config\": \"%s\", \"side\": %d, "
+                 "\"n\": %d, \"k\": %d, \"mode\": \"%s\", \"ms\": %.3f, "
+                 "\"max_boundary\": %.3f%s}%s\n",
+                 r.suite.c_str(), r.config.c_str(), r.side, r.n, r.k,
+                 r.mode.c_str(), r.ms, r.max_boundary, moves.c_str(),
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", out_path, g_rows.size());
+  return 0;
+}
