@@ -1,0 +1,63 @@
+#include "core/context.hpp"
+
+namespace mmd {
+
+DecomposeContext::DecomposeContext(const Graph& g,
+                                   const DecomposeOptions& options,
+                                   DecomposeWorkspace* external_ws)
+    : g_(&g), options_(options), ws_(external_ws ? external_ws : &own_ws_) {
+  MMD_REQUIRE(options.num_threads >= 1, "num_threads must be >= 1");
+  reconcile(options);
+}
+
+DecomposeContext::~DecomposeContext() = default;
+
+void DecomposeContext::reconcile(const DecomposeOptions& options) {
+  MMD_REQUIRE(options.num_threads >= 1, "num_threads must be >= 1");
+  const bool splitter_stale =
+      splitter_ == nullptr || options.splitter != options_.splitter;
+  const bool pool_stale =
+      (options.num_threads > 1) != (pool_ != nullptr) ||
+      (pool_ != nullptr && pool_->num_threads() != options.num_threads);
+
+  if (pool_stale) {
+    pool_.reset();
+    if (options.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options.num_threads);
+      ++stats_.pool_builds;
+    }
+  }
+  if (splitter_stale) {
+    splitter_ = make_default_splitter(*g_, options.splitter);
+    ++stats_.splitter_builds;
+  }
+  if (splitter_stale || pool_stale) splitter_->set_thread_pool(pool_.get());
+  options_ = options;
+}
+
+DecomposeResult DecomposeContext::decompose(std::span<const double> w) {
+  ++stats_.decompose_calls;
+  return mmd::decompose(*g_, w, options_, *splitter_, ws_);
+}
+
+DecomposeResult DecomposeContext::decompose(std::span<const double> w,
+                                            const DecomposeOptions& options) {
+  reconcile(options);
+  return decompose(w);
+}
+
+MultiDecomposeResult DecomposeContext::decompose_multi(
+    std::span<const double> psi, std::span<const MeasureRef> extra_measures) {
+  ++stats_.decompose_calls;
+  return mmd::decompose_multi(*g_, psi, extra_measures, options_, *splitter_,
+                              ws_);
+}
+
+MultiDecomposeResult DecomposeContext::decompose_multi(
+    std::span<const double> psi, std::span<const MeasureRef> extra_measures,
+    const DecomposeOptions& options) {
+  reconcile(options);
+  return decompose_multi(psi, extra_measures);
+}
+
+}  // namespace mmd

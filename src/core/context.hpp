@@ -1,0 +1,103 @@
+// DecomposeContext: the warm-path entry point for repeated decompositions
+// of one graph.
+//
+// The convenience overload decompose(g, w, options) must build a splitter
+// (and, for PrefixSplitter, its OrderingCache of global sweep orders —
+// O(n log n) work) on every call; ROADMAP measured that rebuild as the
+// whole cold-vs-warm gap.  A DecomposeContext hoists everything that
+// depends only on the graph out of the call: it owns the splitter, the
+// pooled DecomposeWorkspace arenas, and (when options.num_threads > 1) a
+// persistent ThreadPool wired into the splitter, so that after the first
+// call every subsequent decompose on the same graph runs with zero
+// splitter/OrderingCache rebuilds and no steady-state allocation.
+//
+// The context is also the ownership story for parallelism: the pool is
+// created once, parked between calls, and borrowed by the splitter tree
+// via ISplitter::set_thread_pool; results are bit-identical to
+// num_threads == 1 by the splitter contract.
+//
+// Thread safety: a context is an exclusive resource — one decompose call
+// at a time (the pool parallelizes *inside* a call, not across calls).
+// Use one context per thread for concurrent callers.
+#pragma once
+
+#include <memory>
+
+#include "core/decompose.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mmd {
+
+/// Instrumentation counters of a context (see also
+/// ordering_cache_rebind_count() for the cache-level view).  The warm-path
+/// regression test pins splitter_builds == 1 across repeated calls.
+struct DecomposeContextStats {
+  long decompose_calls = 0;  ///< decompose + decompose_multi calls served
+  int splitter_builds = 0;   ///< internal splitter (re)constructions
+  int pool_builds = 0;       ///< thread-pool (re)constructions
+};
+
+/// Reusable decomposition state bound to one graph.
+///
+/// ```
+/// mmd::DecomposeOptions opt;
+/// opt.k = 16;
+/// opt.num_threads = 4;                    // 1 = serial (bit-identical)
+/// mmd::DecomposeContext ctx(graph, opt);
+/// auto a = ctx.decompose(weights);        // builds splitter + pool once
+/// auto b = ctx.decompose(other_weights);  // zero rebuilds, zero allocs
+/// ```
+class DecomposeContext {
+ public:
+  /// Bind to `g` (borrowed; must outlive the context) and build the
+  /// splitter/pool for `options` eagerly.  `external_ws` (optional,
+  /// borrowed) substitutes the context's own workspace — the convenience
+  /// overloads use this to honor their caller-supplied workspace.
+  explicit DecomposeContext(const Graph& g, const DecomposeOptions& options = {},
+                            DecomposeWorkspace* external_ws = nullptr);
+  ~DecomposeContext();
+
+  DecomposeContext(const DecomposeContext&) = delete;
+  DecomposeContext& operator=(const DecomposeContext&) = delete;
+
+  /// Theorem 4 decomposition with the bound options (see decompose.hpp).
+  DecomposeResult decompose(std::span<const double> w);
+
+  /// Same with per-call options; the splitter and pool are rebuilt only if
+  /// `options` actually changes the splitter kind or thread count, so
+  /// sweeping k, weights, or tolerances stays on the warm path.
+  DecomposeResult decompose(std::span<const double> w,
+                            const DecomposeOptions& options);
+
+  /// Multi-balanced variant (Conclusion; see decompose_multi).
+  MultiDecomposeResult decompose_multi(
+      std::span<const double> psi, std::span<const MeasureRef> extra_measures);
+  MultiDecomposeResult decompose_multi(std::span<const double> psi,
+                                       std::span<const MeasureRef> extra_measures,
+                                       const DecomposeOptions& options);
+
+  const Graph& graph() const { return *g_; }
+  const DecomposeOptions& options() const { return options_; }
+  /// The owned splitter (stable across calls; scratch and OrderingCache
+  /// stay warm inside it).
+  ISplitter& splitter() { return *splitter_; }
+  /// The workspace every call leases its arenas from.
+  DecomposeWorkspace& workspace() { return *ws_; }
+  /// The persistent pool, or nullptr while num_threads <= 1.
+  ThreadPool* thread_pool() { return pool_.get(); }
+  const DecomposeContextStats& stats() const { return stats_; }
+
+ private:
+  /// Make splitter/pool match `options`, rebuilding only on actual change.
+  void reconcile(const DecomposeOptions& options);
+
+  const Graph* g_;
+  DecomposeOptions options_;
+  std::unique_ptr<ISplitter> splitter_;
+  std::unique_ptr<ThreadPool> pool_;
+  DecomposeWorkspace own_ws_;
+  DecomposeWorkspace* ws_;
+  DecomposeContextStats stats_;
+};
+
+}  // namespace mmd

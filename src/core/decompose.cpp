@@ -4,6 +4,7 @@
 
 #include "core/binpack.hpp"
 #include "core/bisection.hpp"
+#include "core/context.hpp"
 #include "separators/composite.hpp"
 #include "separators/grid_split.hpp"
 #include "separators/prefix_splitter.hpp"
@@ -154,8 +155,11 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
                           const DecomposeOptions& options,
                           DecomposeWorkspace* ws) {
-  const auto splitter = make_default_splitter(g, options.splitter);
-  return decompose(g, w, options, *splitter, ws);
+  // A transient context: one splitter + pool build, torn down on return.
+  // Callers that decompose the same graph repeatedly should hold a
+  // DecomposeContext instead and get this build cost exactly once.
+  DecomposeContext ctx(g, options, ws);
+  return ctx.decompose(w);
 }
 
 MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,
@@ -211,8 +215,8 @@ MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi
                                      std::span<const MeasureRef> extra_measures,
                                      const DecomposeOptions& options,
                                      DecomposeWorkspace* ws) {
-  const auto splitter = make_default_splitter(g, options.splitter);
-  return decompose_multi(g, psi, extra_measures, options, *splitter, ws);
+  DecomposeContext ctx(g, options, ws);
+  return ctx.decompose_multi(psi, extra_measures);
 }
 
 }  // namespace mmd

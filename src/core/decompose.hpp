@@ -25,10 +25,11 @@
 
 namespace mmd {
 
+/// Which splitting-set engine decompose() builds internally.
 enum class SplitterKind {
   Auto,    ///< best-of(GridSplitter, PrefixSplitter) on grids, else Prefix
-  Prefix,
-  Grid,
+  Prefix,  ///< PrefixSplitter (general graphs; sweep orders + FM)
+  Grid,    ///< GridSplitter (Theorem 19; requires coordinates)
 };
 
 /// Initial-coloring strategy for the pipeline.
@@ -40,9 +41,12 @@ enum class InitMethod {
   Best,       ///< run both, keep the cheaper strictly balanced coloring
 };
 
+/// Tuning knobs of the Theorem 4 pipeline.  The defaults reproduce the
+/// paper's guarantees; everything else is practical engineering
+/// (docs/API.md walks through each knob with examples).
 struct DecomposeOptions {
-  int k = 2;
-  double p = 2.0;
+  int k = 2;       ///< number of color classes (>= 1)
+  double p = 2.0;  ///< cost-norm exponent of the bound (> 1)
   /// sigma_p used to scale the splitting cost measure pi.  <= 0 means:
   /// grid bound for grid graphs, 2.0 otherwise (only affects the relative
   /// weighting of pi against other measures and the reported bounds, not
@@ -50,6 +54,15 @@ struct DecomposeOptions {
   double sigma_p = 0.0;
   SplitterKind splitter = SplitterKind::Auto;
   InitMethod init = InitMethod::Paper;
+  /// Execution lanes for intra-split parallelism (PrefixSplitter candidate
+  /// orders, CompositeSplitter children).  1 (default) = serial; > 1 makes
+  /// DecomposeContext (and the convenience overloads, which route through
+  /// a transient context) own a persistent ThreadPool wired into the
+  /// splitter.  Results are bit-identical for every value: candidates are
+  /// index-addressed and reduced in index order (see ISplitter contract).
+  /// The overloads taking an external ISplitter& ignore this knob — wire a
+  /// pool into the splitter yourself via ISplitter::set_thread_pool.
+  int num_threads = 1;
 
   // Ablation switches (benches E5/E7 study their effect).
   bool balance_boundary = true;  ///< Prop 7 phase 2 (Psi rebalance)
@@ -58,38 +71,56 @@ struct DecomposeOptions {
   bool use_refinement = true;    ///< min-max hill climbing post-pass
                                  ///< (extension; never hurts the bounds)
 
-  RebalanceOptions rebalance;
-  StrictifyParams strictify;
-  MinmaxRefineOptions refine;
+  RebalanceOptions rebalance;   ///< phase 1 (Prop 7) tuning
+  StrictifyParams strictify;    ///< phase 2 (Prop 11) tuning
+  MinmaxRefineOptions refine;   ///< phase 4 (refinement) tuning
 };
 
+/// Timing and quality snapshot taken after one pipeline phase.
 struct PhaseReport {
-  double seconds = 0.0;
-  double max_boundary = 0.0;
-  double avg_boundary = 0.0;
+  double seconds = 0.0;         ///< wall time of the phase
+  double max_boundary = 0.0;    ///< ||d chi^-1||_inf after the phase
+  double avg_boundary = 0.0;    ///< ||d chi^-1||_1 / k after the phase
   double max_weight_dev = 0.0;  ///< max |class weight - avg|
 };
 
+/// Everything decompose() returns: the coloring plus the diagnostics the
+/// benches and tests assert on.
 struct DecomposeResult {
-  Coloring coloring;
+  Coloring coloring;           ///< strictly balanced k-coloring (Def. 1)
   double sigma_p = 0.0;        ///< value used
   TheoryBound bound;           ///< Theorem 4 bound skeleton
   BalanceReport balance;       ///< final balance w.r.t. w
   double max_boundary = 0.0;   ///< final ||d chi^-1||_inf
-  double avg_boundary = 0.0;
+  double avg_boundary = 0.0;   ///< final ||d chi^-1||_1 / k
   PhaseReport phase_multibalance, phase_strictify, phase_binpack, phase_refine;
-  MinmaxRefineStats refine_stats;
-  double total_seconds = 0.0;
+  MinmaxRefineStats refine_stats;  ///< phase 4 move/round counters
+  double total_seconds = 0.0;      ///< end-to-end wall time
 };
 
-/// Decompose with an externally provided splitter.  `ws` (optional) lends
-/// every phase its scratch arenas; reusing one workspace across repeated
-/// calls makes the steady-state hot path allocation-free.
+/// Decompose with an externally provided splitter (the low-level core).
+///
+/// \param g        host graph (borrowed)
+/// \param w        vertex weights, one per vertex of g
+/// \param options  pipeline knobs; options.num_threads is ignored here —
+///                 wire a pool into `splitter` yourself via
+///                 ISplitter::set_thread_pool if you want parallelism
+/// \param splitter splitting-set engine; its scratch stays warm across
+///                 calls, which is the main reason to own one
+/// \param ws       optional scratch arenas lent to every phase; reusing
+///                 one workspace across repeated calls makes the
+///                 steady-state hot path allocation-free
+/// \return the strictly balanced coloring plus per-phase diagnostics
+/// \throws InvariantViolation on arity/parameter violations
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
                           const DecomposeOptions& options, ISplitter& splitter,
                           DecomposeWorkspace* ws = nullptr);
 
-/// Decompose with an internally constructed splitter per options.splitter.
+/// Decompose with an internally constructed splitter per options.splitter
+/// (and a thread pool when options.num_threads > 1).  Routes through a
+/// transient DecomposeContext — callers decomposing one graph repeatedly
+/// should hold a DecomposeContext (core/context.hpp) to pay the
+/// splitter/cache build exactly once.
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
                           const DecomposeOptions& options,
                           DecomposeWorkspace* ws = nullptr);
@@ -99,14 +130,14 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
 /// measure (max class measure = O(avg + max)), with the same maximum
 /// boundary cost bound.
 struct MultiDecomposeResult {
-  Coloring coloring;
+  Coloring coloring;                   ///< strictly psi-balanced k-coloring
   BalanceReport psi_balance;           ///< strict, per Definition 1
   std::vector<double> weak_factors;    ///< per extra measure (see
                                        ///< weak_balance_factor)
-  double max_boundary = 0.0;
-  double avg_boundary = 0.0;
-  TheoryBound bound;
-  double sigma_p = 0.0;
+  double max_boundary = 0.0;           ///< final ||d chi^-1||_inf
+  double avg_boundary = 0.0;           ///< final ||d chi^-1||_1 / k
+  TheoryBound bound;                   ///< Theorem 4 bound skeleton
+  double sigma_p = 0.0;                ///< value used
 };
 
 MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi,

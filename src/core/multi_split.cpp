@@ -21,25 +21,36 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
   req.target = set_measure(last, w_list) / 2.0;
   SplitResult u1 = splitter.split(req);
 
-  std::vector<Vertex> u2;
-  {
-    const auto in_u1 = ws.membership(g.num_vertices());
-    in_u1->assign(u1.inside);
-    u2 = set_difference(w_list, *in_u1);
-  }
-
   TwoColoring out;
   out.cut_cost = u1.boundary_cost;
   if (r == 1) {
+    // Leaf level: the complement escapes as a color class, so it owns its
+    // storage.
+    std::vector<Vertex> u2;
+    {
+      const auto in_u1 = ws.membership(g.num_vertices());
+      in_u1->assign(u1.inside);
+      u2 = set_difference(w_list, *in_u1);
+    }
     out.side[0] = std::move(u1.inside);
     out.side[1] = std::move(u2);
     return out;
   }
 
+  // Inner level: the complement only feeds the recursion below and dies
+  // with this frame, so it leases a pooled buffer — the recursion reuses
+  // one buffer per depth instead of allocating a vector per level.
+  const auto u2 = ws.vertex_list();
+  {
+    const auto in_u1 = ws.membership(g.num_vertices());
+    in_u1->assign(u1.inside);
+    set_difference_into(w_list, *in_u1, *u2);
+  }
+
   // Recurse on both halves with the remaining measures.
   const std::span<const MeasureRef> rest = measures.first(r - 1);
   TwoColoring half[2] = {multi_split_rec(g, u1.inside, rest, splitter, ws),
-                         multi_split_rec(g, u2, rest, splitter, ws)};
+                         multi_split_rec(g, *u2, rest, splitter, ws)};
   out.cut_cost += half[0].cut_cost + half[1].cut_cost;
 
   // Relabel each half so that side b keeps at most half of U_b's mass of

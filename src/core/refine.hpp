@@ -29,30 +29,47 @@
 
 namespace mmd {
 
+/// Which of the two equivalent refinement engines runs.  Both apply the
+/// identical move-acceptance rule and produce identical colorings (the
+/// equivalence suite in tests/test_refine_worklist.cpp asserts it).
 enum class RefineEngine {
   Worklist,  ///< boundary worklist + incremental max tracking (default)
   Sweep,     ///< full-sweep reference engine (the seed implementation)
 };
 
+/// Tuning of the min-max hill-climbing post-pass.
 struct MinmaxRefineOptions {
-  int max_passes = 8;
+  int max_passes = 8;  ///< cap on rounds/passes until the fixpoint
   /// Keep |w(class) - avg| within this multiple of the Definition 1 slack
   /// (1.0 = strict balance; larger values explore the almost-strict room).
   double balance_slack = 1.0;
-  RefineEngine engine = RefineEngine::Worklist;
+  RefineEngine engine = RefineEngine::Worklist;  ///< engine selection
 };
 
+/// Work and progress counters of one minmax_refine call.
 struct MinmaxRefineStats {
-  int moves = 0;
+  int moves = 0;          ///< accepted vertex moves
   int rounds = 0;         ///< worklist: seed rounds run (sweep: passes)
   std::int64_t pops = 0;  ///< worklist: queue pops (work measure)
-  double max_boundary_before = 0.0;
-  double max_boundary_after = 0.0;
+  double max_boundary_before = 0.0;  ///< ||d chi^-1||_inf at entry
+  double max_boundary_after = 0.0;   ///< ||d chi^-1||_inf at the fixpoint
 };
 
-/// Refine a total coloring in place.  Requires chi total; returns stats.
-/// When `ws` is non-null its buffers are reused (and grown on demand), so
-/// steady-state calls perform no heap allocation.
+/// Refine a total coloring in place.
+///
+/// Every accepted move keeps chi strictly balanced (scaled by
+/// options.balance_slack) and lexicographically improves
+/// (max class boundary cost, total boundary cost), so all Theorem 4
+/// guarantees survive refinement.
+///
+/// \param g       host graph
+/// \param chi     total k-coloring, refined in place
+/// \param w       vertex weights the balance window is measured against
+/// \param options engine/pass/slack knobs
+/// \param ws      optional scratch; when non-null its buffers are reused
+///                (and grown on demand), so steady-state calls perform no
+///                heap allocation
+/// \return move/round/boundary statistics of this call
 MinmaxRefineStats minmax_refine(const Graph& g, Coloring& chi,
                                 std::span<const double> w,
                                 const MinmaxRefineOptions& options = {},

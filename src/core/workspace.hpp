@@ -62,10 +62,34 @@ class DecomposeWorkspace {
   /// Lease a Membership able to mark vertices 0..n-1 (empty on acquire).
   MembershipLease membership(Vertex n) { return MembershipLease(*this, n); }
 
+  /// RAII lease of a pooled vertex-list buffer (empty on acquire, capacity
+  /// kept across leases).  The recursive phases use these for sub-instance
+  /// vertex lists that do not escape their recursion level — multi_split's
+  /// complement halves being the prime case — so levels reuse capacity
+  /// instead of allocating a fresh vector each.
+  class VertexListLease {
+   public:
+    explicit VertexListLease(DecomposeWorkspace& ws)
+        : ws_(ws), v_(ws.acquire_list()) {}
+    ~VertexListLease() { ws_.release_list(v_); }
+    VertexListLease(const VertexListLease&) = delete;
+    VertexListLease& operator=(const VertexListLease&) = delete;
+    std::vector<Vertex>& operator*() const { return *v_; }
+    std::vector<Vertex>* operator->() const { return v_; }
+
+   private:
+    DecomposeWorkspace& ws_;
+    std::vector<Vertex>* v_;
+  };
+
+  /// Lease a cleared vertex-list buffer.
+  VertexListLease vertex_list() { return VertexListLease(*this); }
+
   RefineWorkspace refine;
 
  private:
   friend class MembershipLease;
+  friend class VertexListLease;
 
   Membership* acquire(Vertex n) {
     if (free_.empty()) {
@@ -80,8 +104,22 @@ class DecomposeWorkspace {
   }
   void release(Membership* m) { free_.push_back(m); }
 
+  std::vector<Vertex>* acquire_list() {
+    if (free_lists_.empty()) {
+      owned_lists_.push_back(std::make_unique<std::vector<Vertex>>());
+      free_lists_.push_back(owned_lists_.back().get());
+    }
+    std::vector<Vertex>* v = free_lists_.back();
+    free_lists_.pop_back();
+    v->clear();
+    return v;
+  }
+  void release_list(std::vector<Vertex>* v) { free_lists_.push_back(v); }
+
   std::vector<std::unique_ptr<Membership>> owned_;
   std::vector<Membership*> free_;
+  std::vector<std::unique_ptr<std::vector<Vertex>>> owned_lists_;
+  std::vector<std::vector<Vertex>*> free_lists_;
 };
 
 }  // namespace mmd

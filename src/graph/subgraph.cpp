@@ -93,4 +93,12 @@ std::vector<Vertex> set_difference(std::span<const Vertex> w_list,
   return out;
 }
 
+void set_difference_into(std::span<const Vertex> w_list,
+                         const Membership& in_u, std::vector<Vertex>& out) {
+  out.clear();
+  out.reserve(w_list.size());
+  for (Vertex v : w_list)
+    if (!in_u.contains(v)) out.push_back(v);
+}
+
 }  // namespace mmd

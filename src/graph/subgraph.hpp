@@ -99,4 +99,9 @@ std::int64_t cut_size_within(const Graph& g, std::span<const Vertex> u_list,
 std::vector<Vertex> set_difference(std::span<const Vertex> w_list,
                                    const Membership& in_u);
 
+/// set_difference into a caller buffer (overwritten); no allocation once
+/// the buffer's capacity has grown to the working-set size.
+void set_difference_into(std::span<const Vertex> w_list, const Membership& in_u,
+                         std::vector<Vertex>& out);
+
 }  // namespace mmd

@@ -7,12 +7,21 @@
 // a hard postcondition of every child, so the composite inherits it, and
 // its quality is the minimum of the children's (hence it keeps every
 // child's theoretical guarantee).
+//
+// With a thread pool the children run concurrently: each child owns its
+// scratch, writes only its own result slot, and the reduction scans slots
+// in child order keeping the first strictly cheaper result — bit-identical
+// to the serial loop.  The pool is also forwarded to the children, so a
+// PrefixSplitter child can fan its candidate orders out on the same pool;
+// a nested run() from inside a pooled child task executes inline (see
+// thread_pool.hpp), which keeps the fan-out deadlock-free.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "separators/splitter.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mmd {
 
@@ -24,6 +33,17 @@ class CompositeSplitter final : public ISplitter {
   }
 
   SplitResult split(const SplitRequest& request) override {
+    if (pool_ != nullptr && children_.size() >= 2) {
+      results_.resize(children_.size());
+      ThreadPool& pool = *pool_;
+      pool.run(static_cast<int>(children_.size()),
+               [&](int i) { results_[static_cast<std::size_t>(i)] =
+                                children_[static_cast<std::size_t>(i)]->split(request); });
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < results_.size(); ++i)
+        if (results_[i].boundary_cost < results_[best].boundary_cost) best = i;
+      return std::move(results_[best]);
+    }
     SplitResult best;
     bool have = false;
     for (const auto& child : children_) {
@@ -45,8 +65,15 @@ class CompositeSplitter final : public ISplitter {
     return s + ")";
   }
 
+  void set_thread_pool(ThreadPool* pool) override {
+    pool_ = pool;
+    for (const auto& child : children_) child->set_thread_pool(pool);
+  }
+
  private:
   std::vector<std::unique_ptr<ISplitter>> children_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<SplitResult> results_;  // one slot per child (parallel path)
 };
 
 }  // namespace mmd

@@ -1,11 +1,20 @@
 #include "separators/orderings.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "graph/connectivity.hpp"
 
 namespace mmd {
+
+namespace {
+std::atomic<long> g_rebind_count{0};
+}  // namespace
+
+long ordering_cache_rebind_count() {
+  return g_rebind_count.load(std::memory_order_relaxed);
+}
 
 std::vector<Vertex> pseudo_peripheral_bfs_order(const Graph& g,
                                                 std::span<const Vertex> w_list,
@@ -211,6 +220,7 @@ void sort_by_key(std::span<const std::uint64_t> key, std::vector<Vertex>& order)
 }  // namespace
 
 void OrderingCache::rebind(const Graph& g) {
+  g_rebind_count.fetch_add(1, std::memory_order_relaxed);
   g_ = &g;
   uid_ = g.uid();
   n_ = g.num_vertices();
@@ -277,7 +287,8 @@ void OrderingCache::rebind(const Graph& g) {
 
 void OrderingCache::subset_order(int idx, std::span<const Vertex> w_list,
                                  const Membership* in_w,
-                                 std::vector<Vertex>& out) const {
+                                 std::vector<Vertex>& out,
+                                 OrderingScratch* scratch) const {
   MMD_REQUIRE(g_ != nullptr && idx >= 0 && idx < num_orders_,
               "ordering cache not bound / index out of range");
   const std::size_t base = static_cast<std::size_t>(idx) * n_;
@@ -299,7 +310,7 @@ void OrderingCache::subset_order(int idx, std::span<const Vertex> w_list,
   out.assign(w_list.begin(), w_list.end());
   const std::int32_t* rank = rank_.data() + base;
   if (out.size() >= 128) {
-    radix_sort_by_rank(rank, out);
+    radix_sort_by_rank(rank, out, scratch ? *scratch : scratch_);
   } else {
     std::sort(out.begin(), out.end(), [rank](Vertex a, Vertex b) {
       return rank[static_cast<std::size_t>(a)] < rank[static_cast<std::size_t>(b)];
@@ -308,10 +319,12 @@ void OrderingCache::subset_order(int idx, std::span<const Vertex> w_list,
 }
 
 void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
-                                        std::vector<Vertex>& out) const {
+                                        std::vector<Vertex>& out,
+                                        OrderingScratch* scratch) const {
   MMD_REQUIRE(g_ != nullptr && g_->has_coords(),
               "ordering cache not bound to a coordinate graph");
   const Graph& g = *g_;
+  OrderingScratch& sc = scratch ? *scratch : scratch_;
   if (g.dim() != 2) {
     out = morton_order(g, w_list);
     return;
@@ -327,8 +340,8 @@ void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
     lo1 = std::min(lo1, static_cast<std::int64_t>(c[1]));
   }
   const std::size_t s = w_list.size();
-  radix_key_.resize(std::max(radix_key_.size(), s));
-  radix_buf_.resize(std::max(radix_buf_.size(), s));
+  sc.key.resize(std::max(sc.key.size(), s));
+  sc.buf.resize(std::max(sc.buf.size(), s));
   out.assign(w_list.begin(), w_list.end());
   std::uint64_t all_or = 0, all_and = ~0ull;
   for (std::size_t i = 0; i < s; ++i) {
@@ -336,18 +349,18 @@ void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
     const std::uint64_t k =
         (interleave_even(static_cast<std::uint64_t>(c[0] - lo0)) << 1) |
         interleave_even(static_cast<std::uint64_t>(c[1] - lo1));
-    radix_key_[i] = k;
+    sc.key[i] = k;
     all_or |= k;
     all_and &= k;
   }
   const std::uint64_t varying = all_or ^ all_and;
   // Pack (key byte stream, payload) pairs implicitly: sort parallel
-  // (radix_key_, out) arrays byte by byte, stably.
-  std::uint64_t* ka = radix_key_.data();
-  std::uint64_t* kb = radix_buf_.data();
-  radix_vbuf_.resize(std::max(radix_vbuf_.size(), s));
+  // (sc.key, out) arrays byte by byte, stably.
+  std::uint64_t* ka = sc.key.data();
+  std::uint64_t* kb = sc.buf.data();
+  sc.vbuf.resize(std::max(sc.vbuf.size(), s));
   Vertex* va = out.data();
-  Vertex* vb = radix_vbuf_.data();
+  Vertex* vb = sc.vbuf.data();
   std::uint32_t count[256];
   for (int byte = 0; byte < 8; ++byte) {
     const int shift = 8 * byte;
@@ -372,15 +385,16 @@ void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
 }
 
 void OrderingCache::radix_sort_by_rank(const std::int32_t* rank,
-                                       std::vector<Vertex>& out) const {
+                                       std::vector<Vertex>& out,
+                                       OrderingScratch& sc) const {
   // Gather (rank << 32 | vertex) keys once — one random load per element —
   // then LSD radix with 8-bit digits over the rank bytes: ceil(log256 n)
   // stable counting passes of sequential O(|W| + 256) work each.
   const std::size_t s = out.size();
-  radix_key_.resize(std::max(radix_key_.size(), s));
-  radix_buf_.resize(std::max(radix_buf_.size(), s));
-  std::uint64_t* a = radix_key_.data();
-  std::uint64_t* b = radix_buf_.data();
+  sc.key.resize(std::max(sc.key.size(), s));
+  sc.buf.resize(std::max(sc.buf.size(), s));
+  std::uint64_t* a = sc.key.data();
+  std::uint64_t* b = sc.buf.data();
   for (std::size_t i = 0; i < s; ++i) {
     const Vertex v = out[i];
     a[i] = (static_cast<std::uint64_t>(

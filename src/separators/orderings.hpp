@@ -47,6 +47,20 @@ void pseudo_peripheral_bfs_order_into(const Graph& g,
                                       BfsScratch& scratch,
                                       std::vector<Vertex>& out);
 
+/// Radix-sort scratch used by OrderingCache's subset queries.  The cache
+/// owns one instance for the serial path; concurrent queries (the thread
+/// pool evaluating several sweep orders of one split at once) must each
+/// pass their own.
+struct OrderingScratch {
+  std::vector<std::uint64_t> key, buf;
+  std::vector<Vertex> vbuf;
+};
+
+/// Process-wide count of OrderingCache rebinds (instrumentation: a warm
+/// DecomposeContext must not rebind after its first decompose call, and
+/// the regression test in test_context_threads.cpp pins that down).
+long ordering_cache_rebind_count();
+
 /// Per-graph cache of the axis-aligned sweep orders (lexicographic plus
 /// one per non-leading axis).  The splitters re-derive subset orders from
 /// the cached global ranks in near-linear integer-key time instead of
@@ -55,6 +69,10 @@ void pseudo_peripheral_bfs_order_into(const Graph& g,
 /// quality depends on anchoring the Z-curve at the subset's own bounding
 /// box, so subset_morton_order computes it per subset (with interleaved
 /// keys and a radix sort in two dimensions).
+///
+/// Thread safety: bind() mutates and must happen before concurrent use;
+/// the subset queries are const and safe to call concurrently as long as
+/// every concurrent caller passes a distinct OrderingScratch.
 class OrderingCache {
  public:
   /// Bind to g, computing the global orders once; no-op when already bound
@@ -73,21 +91,26 @@ class OrderingCache {
   /// Restriction of cached order `idx` to w_list, into `out` (overwritten).
   /// When `in_w` is non-null it must represent exactly w_list; large
   /// subsets are then gathered by one scan of the cached global order
-  /// instead of a sort.
+  /// instead of a sort.  `scratch` (optional) substitutes the cache's own
+  /// radix buffers — required for concurrent callers.
   void subset_order(int idx, std::span<const Vertex> w_list,
-                    const Membership* in_w, std::vector<Vertex>& out) const;
+                    const Membership* in_w, std::vector<Vertex>& out,
+                    OrderingScratch* scratch = nullptr) const;
 
   /// Morton (Z-curve) order of w_list anchored at its own bounding box —
   /// the same curve as morton_order(g, w_list), computed with interleaved
   /// keys + radix in two dimensions (comparator fallback otherwise).
   /// Vertices with identical coordinates keep their w_list order (the
   /// radix is stable) instead of morton_order's id tie-break.
+  /// `scratch` as in subset_order.
   void subset_morton_order(std::span<const Vertex> w_list,
-                           std::vector<Vertex>& out) const;
+                           std::vector<Vertex>& out,
+                           OrderingScratch* scratch = nullptr) const;
 
  private:
   void rebind(const Graph& g);
-  void radix_sort_by_rank(const std::int32_t* rank, std::vector<Vertex>& out) const;
+  void radix_sort_by_rank(const std::int32_t* rank, std::vector<Vertex>& out,
+                          OrderingScratch& scratch) const;
 
   const Graph* g_ = nullptr;
   std::uint64_t uid_ = 0;
@@ -95,9 +118,8 @@ class OrderingCache {
   int num_orders_ = 0;
   std::vector<Vertex> perm_;        // num_orders blocks of n (sorted order)
   std::vector<std::int32_t> rank_;  // num_orders blocks of n (inverse perm)
-  // Radix scratch for subset_order / subset_morton_order.
-  mutable std::vector<std::uint64_t> radix_key_, radix_buf_;
-  mutable std::vector<Vertex> radix_vbuf_;
+  // Radix scratch for the serial (scratch == nullptr) subset queries.
+  mutable OrderingScratch scratch_;
 };
 
 }  // namespace mmd

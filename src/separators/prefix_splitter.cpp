@@ -5,6 +5,7 @@
 
 #include "separators/fm_refine.hpp"
 #include "separators/orderings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mmd {
 
@@ -38,25 +39,11 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
   in_u_.ensure(g.num_vertices());
   in_w_.assign(request.w_list);
 
-  SplitResult best;
-  bool have_best = false;
-  auto consider = [&](std::span<const Vertex> order) {
-    const std::size_t len = best_prefix(order, request.weights, request.target);
-    const std::span<const Vertex> prefix(order.data(), len);
-    in_u_.assign(prefix);
-    const double cost = boundary_cost_within(g, prefix, in_u_, in_w_);
-    if (!have_best || cost < best.boundary_cost) {
-      best.inside.assign(prefix.begin(), prefix.end());
-      best.weight = set_measure(request.weights, prefix);
-      best.boundary_cost = cost;
-      have_best = true;
-    }
-  };
-
-  if (options_.use_bfs) {
-    pseudo_peripheral_bfs_order_into(g, request.w_list, bfs_, order_);
-    consider(order_);
-  }
+  // The candidate family — BFS, then the cached coordinate sweeps, then
+  // Morton — is fixed up front so the serial loop and the parallel path
+  // enumerate (and tie-break) the exact same indexed sequence.
+  int num_sweeps = 0;
+  bool morton = false;
   if (options_.use_coordinate_sweeps && g.has_coords()) {
     cache_.bind(g);
     // Same sweep family as the seed: lexicographic, per-axis (cached
@@ -64,17 +51,46 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
     // differs from lexicographic — Morton anchored at W's bounding box.
     int sweeps = cache_.num_orders() + (g.dim() >= 2 ? 1 : 0);
     if (options_.max_sweeps > 0) sweeps = std::min(sweeps, options_.max_sweeps);
-    for (int idx = 0; idx < sweeps; ++idx) {
-      if (idx == cache_.num_orders()) {
-        cache_.subset_morton_order(request.w_list, order_);
-      } else {
-        cache_.subset_order(idx, request.w_list, &in_w_, order_);
+    morton = sweeps > cache_.num_orders();
+    num_sweeps = std::min(sweeps, cache_.num_orders());
+  }
+  const int candidates =
+      (options_.use_bfs ? 1 : 0) + num_sweeps + (morton ? 1 : 0);
+
+  SplitResult best;
+  if (pool_ != nullptr && candidates >= 2) {
+    best = split_parallel(request, num_sweeps, morton);
+  } else {
+    bool have_best = false;
+    auto consider = [&](std::span<const Vertex> order) {
+      const std::size_t len =
+          best_prefix(order, request.weights, request.target);
+      const std::span<const Vertex> prefix(order.data(), len);
+      in_u_.assign(prefix);
+      const double cost = boundary_cost_within(g, prefix, in_u_, in_w_);
+      if (!have_best || cost < best.boundary_cost) {
+        best.inside.assign(prefix.begin(), prefix.end());
+        best.weight = set_measure(request.weights, prefix);
+        best.boundary_cost = cost;
+        have_best = true;
       }
+    };
+
+    if (options_.use_bfs) {
+      pseudo_peripheral_bfs_order_into(g, request.w_list, bfs_, order_);
       consider(order_);
     }
-  }
-  if (!have_best) {  // coordinate-free fallback: id order
-    consider(request.w_list);
+    for (int idx = 0; idx < num_sweeps; ++idx) {
+      cache_.subset_order(idx, request.w_list, &in_w_, order_);
+      consider(order_);
+    }
+    if (morton) {
+      cache_.subset_morton_order(request.w_list, order_);
+      consider(order_);
+    }
+    if (!have_best) {  // coordinate-free fallback: id order
+      consider(request.w_list);
+    }
   }
 
   if (options_.refine && !best.inside.empty() &&
@@ -84,6 +100,52 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
     fm_refine_split(g, request.w_list, request.weights, request.target, best,
                     fm, in_w_, in_u_);
   }
+  return best;
+}
+
+SplitResult PrefixSplitter::split_parallel(const SplitRequest& request,
+                                           int num_sweeps, bool morton) {
+  const Graph& g = *request.g;
+  const int bfs = options_.use_bfs ? 1 : 0;
+  const int count = bfs + num_sweeps + (morton ? 1 : 0);
+  while (slots_.size() < static_cast<std::size_t>(count))
+    slots_.push_back(std::make_unique<EvalSlot>());
+
+  // Each candidate writes only its own slot; in_w_ and cache_ are shared
+  // read-only (cache_ was bound before the fork, scratch is per slot).
+  pool_->run(count, [&](int i) {
+    EvalSlot& slot = *slots_[static_cast<std::size_t>(i)];
+    if (i < bfs) {
+      pseudo_peripheral_bfs_order_into(g, request.w_list, slot.bfs,
+                                       slot.order);
+    } else if (i - bfs < num_sweeps) {
+      cache_.subset_order(i - bfs, request.w_list, &in_w_, slot.order,
+                          &slot.radix);
+    } else {
+      cache_.subset_morton_order(request.w_list, slot.order, &slot.radix);
+    }
+    slot.prefix_len =
+        best_prefix(slot.order, request.weights, request.target);
+    const std::span<const Vertex> prefix(slot.order.data(), slot.prefix_len);
+    slot.in_u.ensure(g.num_vertices());
+    slot.in_u.assign(prefix);
+    slot.cost = boundary_cost_within(g, prefix, slot.in_u, in_w_);
+  });
+
+  // Serial reduction in candidate-index order: the first slot of strictly
+  // minimal cost wins, exactly the serial loop's accept-if-strictly-less.
+  int best_idx = 0;
+  for (int i = 1; i < count; ++i)
+    if (slots_[static_cast<std::size_t>(i)]->cost <
+        slots_[static_cast<std::size_t>(best_idx)]->cost)
+      best_idx = i;
+
+  const EvalSlot& winner = *slots_[static_cast<std::size_t>(best_idx)];
+  const std::span<const Vertex> prefix(winner.order.data(), winner.prefix_len);
+  SplitResult best;
+  best.inside.assign(prefix.begin(), prefix.end());
+  best.weight = set_measure(request.weights, prefix);
+  best.boundary_cost = winner.cost;
   return best;
 }
 

@@ -10,6 +10,8 @@
 // window (see fm_refine.hpp).
 #pragma once
 
+#include <memory>
+
 #include "separators/orderings.hpp"
 #include "separators/splitter.hpp"
 
@@ -33,8 +35,30 @@ class PrefixSplitter final : public ISplitter {
   SplitResult split(const SplitRequest& request) override;
   std::string name() const override { return "prefix"; }
 
+  /// With a pool, the candidate orders of one split (BFS + coordinate
+  /// sweeps + Morton) are generated and costed concurrently, one
+  /// index-addressed evaluation slot per candidate, and reduced in
+  /// candidate-index order — bit-identical to the serial loop, which keeps
+  /// the first candidate of strictly minimal boundary cost.
+  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
+
  private:
+  // One candidate order's private evaluation state (parallel path only).
+  // unique_ptr keeps slot addresses stable while the vector grows.
+  struct EvalSlot {
+    std::vector<Vertex> order;
+    Membership in_u;
+    BfsScratch bfs;
+    OrderingScratch radix;
+    std::size_t prefix_len = 0;
+    double cost = 0.0;
+  };
+
+  SplitResult split_parallel(const SplitRequest& request, int num_sweeps,
+                             bool morton);
+
   PrefixSplitterOptions options_;
+  ThreadPool* pool_ = nullptr;
   // Per-instance scratch (ISplitter contract: splitters may keep scratch).
   // The coordinate sweep orders are cached per graph; memberships and
   // order buffers persist across splits so the steady-state per-split cost
@@ -43,6 +67,7 @@ class PrefixSplitter final : public ISplitter {
   Membership in_w_, in_u_;
   BfsScratch bfs_;
   std::vector<Vertex> order_;
+  std::vector<std::unique_ptr<EvalSlot>> slots_;
 };
 
 /// Split a single ordering by the better-of-two-prefixes rule; exposed for

@@ -28,6 +28,8 @@
 
 namespace mmd {
 
+class ThreadPool;
+
 struct SplitRequest {
   const Graph* g = nullptr;
   std::span<const Vertex> w_list;      ///< the sub-instance W
@@ -50,6 +52,15 @@ class ISplitter {
   virtual SplitResult split(const SplitRequest& request) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Opt-in intra-split parallelism: the splitter may use `pool` to
+  /// evaluate independent candidates (sweep orders, composite children)
+  /// concurrently.  Hard contract: the result of split() must stay
+  /// bit-identical to the serial (pool == nullptr) path — candidates are
+  /// index-addressed and reduced in index order, never by arrival time.
+  /// `pool` is borrowed, must outlive the splitter's use of it, and
+  /// nullptr restores the serial path.  Default: ignore (stay serial).
+  virtual void set_thread_pool(ThreadPool* pool) { (void)pool; }
 };
 
 /// Verify the hard weight-window postcondition; throws InvariantViolation

@@ -2,15 +2,18 @@
 //
 // Emits one JSON document with minimum-of-reps wall times for
 //   * the E6 runtime suite shapes: decompose on 2-D grids over growing n
-//     (k = 16) and growing k (side 96), both "cold" (a fresh splitter per
-//     call, the seed's only mode) and "warm" (persistent splitter +
-//     DecomposeWorkspace — the zero-allocation steady state this PR adds);
+//     (k = 16) and growing k (side 96), in the modes the library has
+//     grown so far: "cold" (a fresh splitter per call, the seed's only
+//     mode), "warm" (persistent splitter + DecomposeWorkspace, PR 1),
+//     "ctx-warm" (a reused DecomposeContext, PR 2), and "ctx-threads2"
+//     (context with num_threads = 2 — bit-identical boundaries by the
+//     splitter contract, so its max_boundary_vs_seed must merge to 0);
 //   * a min-max refinement microbench on random colorings, per engine.
 //
 // The same source compiles against the seed tree (which predates
-// DecomposeWorkspace and RefineEngine); the extra modes are feature-
-// detected so before/after JSONs can be produced with one binary each and
-// merged by tools/bench_merge.py into BENCH_PR1.json.
+// DecomposeWorkspace, RefineEngine, and DecomposeContext); the extra
+// modes are feature-detected so before/after JSONs can be produced with
+// one binary each and merged by tools/bench_merge.py into BENCH_*.json.
 //
 // Usage: bench_runner [output.json] [--label name]
 #include <algorithm>
@@ -29,6 +32,10 @@
 #if __has_include("core/workspace.hpp")
 #define MMD_BENCH_HAS_WORKSPACE 1
 #include "core/workspace.hpp"
+#endif
+#if __has_include("core/context.hpp")
+#define MMD_BENCH_HAS_CONTEXT 1
+#include "core/context.hpp"
 #endif
 
 namespace {
@@ -97,6 +104,28 @@ void bench_decompose(const char* config, int side, int k) {
     warm.max_boundary = res.max_boundary;
   }
   g_rows.push_back(warm);
+
+#ifdef MMD_BENCH_HAS_CONTEXT
+  // The public warm path: a reused DecomposeContext (owned splitter +
+  // workspace; zero rebuilds after call one), serial and 2-threaded.
+  for (const int threads : {1, 2}) {
+    DecomposeOptions copt = opt;
+    copt.num_threads = threads;
+    Row row{"decompose_grid2d", config,
+            side,              g.num_vertices(),
+            k,                 threads == 1 ? "ctx-warm" : "ctx-threads2",
+            1e300,             0.0};
+    DecomposeContext ctx(g, copt);
+    for (int r = 0; r < reps + 1; ++r) {  // first call builds the caches
+      Timer t;
+      const DecomposeResult res = ctx.decompose(w);
+      if (r == 0) continue;
+      row.ms = std::min(row.ms, t.seconds() * 1e3);
+      row.max_boundary = res.max_boundary;
+    }
+    g_rows.push_back(row);
+  }
+#endif
 }
 
 void bench_refine(const char* suite, int side, int k, const Coloring& base,

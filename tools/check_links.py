@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Usage: check_links.py [file.md ...]        (default: all tracked *.md)
+
+Scans inline links `[text](target)` in the given markdown files, ignores
+absolute URLs (http/https/mailto) and pure in-page anchors, strips
+`#fragment` suffixes, and verifies the target exists relative to the
+linking file.  Exits non-zero listing every broken link — the CI docs job
+runs this over the repo.
+"""
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def files_from_git():
+    out = subprocess.run(["git", "ls-files", "*.md", "**/*.md"],
+                         capture_output=True, text=True, check=True)
+    return [f for f in out.stdout.splitlines() if f]
+
+
+def main():
+    files = sys.argv[1:] or files_from_git()
+    broken = []
+    for md in files:
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: broken link -> {target}")
+    for b in broken:
+        print(b)
+    if broken:
+        print(f"{len(broken)} broken link(s) in {len(files)} file(s)")
+        return 1
+    print(f"OK: all relative links resolve in {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
