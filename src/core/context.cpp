@@ -4,8 +4,10 @@ namespace mmd {
 
 DecomposeContext::DecomposeContext(const Graph& g,
                                    const DecomposeOptions& options,
-                                   DecomposeWorkspace* external_ws)
-    : g_(&g), options_(options), ws_(external_ws ? external_ws : &own_ws_) {
+                                   DecomposeWorkspace* external_ws,
+                                   ThreadPool* external_pool)
+    : g_(&g), options_(options), external_pool_(external_pool),
+      ws_(external_ws ? external_ws : &own_ws_) {
   MMD_REQUIRE(options.num_threads >= 1, "num_threads must be >= 1");
   reconcile(options);
 }
@@ -16,9 +18,12 @@ void DecomposeContext::reconcile(const DecomposeOptions& options) {
   MMD_REQUIRE(options.num_threads >= 1, "num_threads must be >= 1");
   const bool splitter_stale =
       splitter_ == nullptr || options.splitter != options_.splitter;
+  // A borrowed external pool overrides the num_threads ownership logic:
+  // the caller decides the pool's lifetime and lane count.
   const bool pool_stale =
-      (options.num_threads > 1) != (pool_ != nullptr) ||
-      (pool_ != nullptr && pool_->num_threads() != options.num_threads);
+      external_pool_ == nullptr &&
+      ((options.num_threads > 1) != (pool_ != nullptr) ||
+       (pool_ != nullptr && pool_->num_threads() != options.num_threads));
 
   if (pool_stale) {
     pool_.reset();
@@ -31,7 +36,7 @@ void DecomposeContext::reconcile(const DecomposeOptions& options) {
     splitter_ = make_default_splitter(*g_, options.splitter);
     ++stats_.splitter_builds;
   }
-  if (splitter_stale || pool_stale) splitter_->set_thread_pool(pool_.get());
+  if (splitter_stale || pool_stale) splitter_->set_thread_pool(thread_pool());
   options_ = options;
 }
 

@@ -53,8 +53,14 @@ class DecomposeContext {
   /// splitter/pool for `options` eagerly.  `external_ws` (optional,
   /// borrowed) substitutes the context's own workspace — the convenience
   /// overloads use this to honor their caller-supplied workspace.
+  /// `external_pool` (optional, borrowed, must outlive the context)
+  /// substitutes the context's own pool: the context then never builds
+  /// one regardless of options.num_threads and wires the external pool
+  /// into its splitter instead — FastContext uses this to share one pool
+  /// across the coarse-level context and the finest-level splitter.
   explicit DecomposeContext(const Graph& g, const DecomposeOptions& options = {},
-                            DecomposeWorkspace* external_ws = nullptr);
+                            DecomposeWorkspace* external_ws = nullptr,
+                            ThreadPool* external_pool = nullptr);
   ~DecomposeContext();
 
   DecomposeContext(const DecomposeContext&) = delete;
@@ -83,8 +89,11 @@ class DecomposeContext {
   ISplitter& splitter() { return *splitter_; }
   /// The workspace every call leases its arenas from.
   DecomposeWorkspace& workspace() { return *ws_; }
-  /// The persistent pool, or nullptr while num_threads <= 1.
-  ThreadPool* thread_pool() { return pool_.get(); }
+  /// The pool the splitter runs on: the borrowed external pool if one was
+  /// supplied, else the owned pool (nullptr while num_threads <= 1).
+  ThreadPool* thread_pool() {
+    return external_pool_ != nullptr ? external_pool_ : pool_.get();
+  }
   const DecomposeContextStats& stats() const { return stats_; }
 
  private:
@@ -95,6 +104,7 @@ class DecomposeContext {
   DecomposeOptions options_;
   std::unique_ptr<ISplitter> splitter_;
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* external_pool_ = nullptr;
   DecomposeWorkspace own_ws_;
   DecomposeWorkspace* ws_;
   DecomposeContextStats stats_;

@@ -102,9 +102,15 @@ struct DecomposeResult {
 ///
 /// \param g        host graph (borrowed)
 /// \param w        vertex weights, one per vertex of g
-/// \param options  pipeline knobs; options.num_threads is ignored here —
-///                 wire a pool into `splitter` yourself via
-///                 ISplitter::set_thread_pool if you want parallelism
+/// \param options  pipeline knobs; this overload builds no pool of its
+///                 own (that is DecomposeContext's job, and the
+///                 convenience overload below, decompose_fast, and
+///                 FastContext all route through one), so
+///                 options.num_threads has no effect here — wire a pool
+///                 into `splitter` yourself via ISplitter::set_thread_pool
+///                 and every pool-aware phase (splitter candidates,
+///                 composite children, multi_split's fork-join halves)
+///                 picks it up from the splitter
 /// \param splitter splitting-set engine; its scratch stays warm across
 ///                 calls, which is the main reason to own one
 /// \param ws       optional scratch arenas lent to every phase; reusing

@@ -7,78 +7,174 @@
 
 namespace mmd {
 
-FastResult decompose_fast(const Graph& g, std::span<const double> w,
-                          const FastOptions& options, DecomposeWorkspace* ws) {
+FastContext::FastContext(const Graph& g, const FastOptions& options,
+                         DecomposeWorkspace* external_ws)
+    : g_(&g), options_(options), ws_(external_ws ? external_ws : &own_ws_) {
   MMD_REQUIRE(options.inner.k >= 1, "k must be >= 1");
-  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+  reconcile(options);
+}
+
+FastContext::~FastContext() = default;
+
+void FastContext::reconcile(const FastOptions& options) {
+  MMD_REQUIRE(options.inner.k >= 1, "k must be >= 1");
+  MMD_REQUIRE(options.inner.num_threads >= 1, "num_threads must be >= 1");
+  // The hierarchy depends only on edge costs and the coarsening
+  // parameters, the pool only on the thread count, the finest-level
+  // splitter only on the splitter kind; everything else (k, tolerances,
+  // refinement knobs) is per-call state and invalidates nothing.
+  const bool hierarchy_stale = options.seed != options_.seed ||
+                               options.coarse_target != options_.coarse_target ||
+                               options.max_levels != options_.max_levels;
+  const bool pool_stale =
+      (options.inner.num_threads > 1) != (pool_ != nullptr) ||
+      (pool_ != nullptr && pool_->num_threads() != options.inner.num_threads);
+  const bool fine_splitter_stale =
+      options.inner.splitter != options_.inner.splitter;
+  options_ = options;
+
+  if (hierarchy_stale) {
+    levels_built_ = false;
+    coarse_ctx_.reset();  // bound to the old coarsest graph
+  }
+  if (pool_stale) {
+    // The coarse context and the fine splitter hold the borrowed pool
+    // pointer; drop them before the pool so nothing dangles.
+    coarse_ctx_.reset();
+    fine_splitter_.reset();
+    pool_.reset();
+    if (options.inner.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options.inner.num_threads);
+      ++stats_.pool_builds;
+    }
+  }
+  if (fine_splitter_stale) fine_splitter_.reset();
+  // A surviving coarse context reconciles the remaining inner options
+  // itself on the next decompose call (warm for k/weights/tolerance
+  // sweeps); a dropped one is rebuilt in ensure_levels.
+}
+
+void FastContext::ensure_levels(std::span<const double> w) {
+  if (!levels_built_) {
+    levels_.clear();
+    const Graph* cur = g_;
+    std::span<const double> cur_w = w;
+    std::uint64_t seed = options_.seed;
+    while (cur->num_vertices() > options_.coarse_target &&
+           static_cast<int>(levels_.size()) < options_.max_levels) {
+      CoarseLevel cl = coarsen_heavy_edge(*cur, cur_w, seed++);
+      if (cl.graph.num_vertices() >= cur->num_vertices()) break;
+      Level level;
+      level.graph = std::move(cl.graph);
+      level.weights = std::move(cl.weights);
+      level.parent = std::move(cl.parent);
+      levels_.push_back(std::move(level));
+      cur = &levels_.back().graph;
+      cur_w = levels_.back().weights;
+    }
+    levels_built_ = true;
+    ++stats_.coarsen_builds;
+    coarse_ctx_.reset();
+  } else {
+    // The matching (and hence every level's graph and parent map) depends
+    // only on edge costs and the seed, so a warm call just refreshes the
+    // per-level weight sums — sum_weights_to_parents is the same code
+    // coarsen_heavy_edge runs, so a warm call is bit-identical to a cold
+    // one on the same weights.
+    std::span<const double> cur_w = w;
+    for (Level& level : levels_) {
+      sum_weights_to_parents(level.parent, cur_w, level.graph.num_vertices(),
+                             level.weights);
+      cur_w = level.weights;
+    }
+  }
+  if (coarse_ctx_ == nullptr) {
+    const Graph& coarsest = levels_.empty() ? *g_ : levels_.back().graph;
+    coarse_ctx_ = std::make_unique<DecomposeContext>(coarsest, coarse_options(),
+                                                     ws_, pool_.get());
+  }
+}
+
+DecomposeOptions FastContext::coarse_options() const {
+  DecomposeOptions inner = options_.inner;
+  inner.use_refinement = true;
+  inner.num_threads = 1;  // the shared pool is supplied externally
+  return inner;
+}
+
+ISplitter& FastContext::fine_splitter() {
+  // While nothing was coarsened the coarse context is bound to the finest
+  // graph already — reuse its splitter instead of building a twin.
+  if (levels_.empty()) return coarse_ctx_->splitter();
+  if (fine_splitter_ == nullptr) {
+    fine_splitter_ = make_default_splitter(*g_, options_.inner.splitter);
+    fine_splitter_->set_thread_pool(pool_.get());
+    ++stats_.fine_splitter_builds;
+  }
+  return *fine_splitter_;
+}
+
+FastResult FastContext::decompose(std::span<const double> w) {
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g_->num_vertices(),
               "weight arity mismatch");
   Timer timer;
-  FastResult out;
-  DecomposeWorkspace local_ws;
-  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
+  ++stats_.fast_calls;
+  ensure_levels(w);
 
-  // Coarsen until small enough (or no further progress).
-  struct Level {
-    Graph graph;
-    std::vector<double> weights;
-    std::vector<Vertex> parent;  ///< mapping from the next finer level
-  };
-  std::vector<Level> levels;
-  const Graph* cur_graph = &g;
-  std::span<const double> cur_w = w;
-  std::uint64_t seed = 0xfa57;
-  while (cur_graph->num_vertices() > options.coarse_target &&
-         static_cast<int>(levels.size()) < options.max_levels) {
-    CoarseLevel cl = coarsen_heavy_edge(*cur_graph, cur_w, seed++);
-    if (cl.graph.num_vertices() >= cur_graph->num_vertices()) break;
-    Level level;
-    level.graph = std::move(cl.graph);
-    level.weights = std::move(cl.weights);
-    level.parent = std::move(cl.parent);
-    levels.push_back(std::move(level));
-    cur_graph = &levels.back().graph;
-    cur_w = levels.back().weights;
-  }
-  out.levels = static_cast<int>(levels.size());
+  FastResult out;
+  out.levels = static_cast<int>(levels_.size());
+  DecomposeWorkspace& wsr = *ws_;
 
   // Full pipeline on the coarsest level.  Coarse nodes can be heavy, so
   // the strict window there is loose — re-established at the finest level.
-  DecomposeOptions inner = options.inner;
-  inner.use_refinement = true;
-  Coloring chi = decompose(*cur_graph, cur_w, inner, &wsr).coloring;
+  const std::span<const double> coarse_w =
+      levels_.empty() ? w : std::span<const double>(levels_.back().weights);
+  Coloring chi = coarse_ctx_->decompose(coarse_w, coarse_options()).coloring;
 
   // Uncoarsen with per-level refinement (loose balance slack on interior
   // levels: coarse nodes are heavy, exactness comes at the end).
-  for (std::size_t i = levels.size(); i-- > 0;) {
-    chi = project_coloring(chi, levels[i].parent);
-    const Graph& level_graph = i == 0 ? g : levels[i - 1].graph;
+  for (std::size_t i = levels_.size(); i-- > 0;) {
+    chi = project_coloring(chi, levels_[i].parent);
+    const Graph& level_graph = i == 0 ? *g_ : levels_[i - 1].graph;
     const std::span<const double> level_w =
-        i == 0 ? w : std::span<const double>(levels[i - 1].weights);
+        i == 0 ? w : std::span<const double>(levels_[i - 1].weights);
     MinmaxRefineOptions ro;
-    ro.max_passes = options.refine_passes_per_level;
+    ro.max_passes = options_.refine_passes_per_level;
     ro.balance_slack = i == 0 ? 1.0 : 2.0;
     minmax_refine(level_graph, chi, level_w, ro, &wsr.refine);
   }
-  if (levels.empty()) {
-    // Nothing was coarsened; chi is already a full-resolution result.
-  }
 
-  // Close the strict window at full resolution.
-  if (options.inner.k > 1) {
-    const auto splitter = make_default_splitter(g, options.inner.splitter);
-    chi = binpack2(g, chi, w, *splitter, nullptr, &wsr);
+  // Close the strict window at full resolution, through the persistent
+  // finest-level splitter (warm OrderingCache, shared pool).
+  if (options_.inner.k > 1) {
+    chi = binpack2(*g_, chi, w, fine_splitter(), nullptr, &wsr);
     MinmaxRefineOptions ro;
-    ro.max_passes = options.refine_passes_per_level;
-    minmax_refine(g, chi, w, ro, &wsr.refine);
+    ro.max_passes = options_.refine_passes_per_level;
+    minmax_refine(*g_, chi, w, ro, &wsr.refine);
   }
 
   out.coloring = std::move(chi);
   out.balance = balance_report(w, out.coloring);
-  const auto bc = class_boundary_costs(g, out.coloring);
+  const auto bc = class_boundary_costs(*g_, out.coloring);
   out.max_boundary = norm_inf(bc);
-  out.avg_boundary = options.inner.k > 0 ? norm1(bc) / options.inner.k : 0.0;
+  out.avg_boundary = norm1(bc) / options_.inner.k;
   out.total_seconds = timer.seconds();
   return out;
+}
+
+FastResult FastContext::decompose(std::span<const double> w,
+                                  const FastOptions& options) {
+  reconcile(options);
+  return decompose(w);
+}
+
+FastResult decompose_fast(const Graph& g, std::span<const double> w,
+                          const FastOptions& options, DecomposeWorkspace* ws) {
+  // A transient context: one hierarchy + splitter build, torn down on
+  // return.  Callers running repeated fast decompositions of one graph
+  // should hold a FastContext and pay that build exactly once.
+  FastContext ctx(g, options, ws);
+  return ctx.decompose(w);
 }
 
 }  // namespace mmd

@@ -1,6 +1,7 @@
 #include "core/multi_split.hpp"
 
 #include "graph/subgraph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mmd {
 
@@ -47,10 +48,38 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
     set_difference_into(w_list, *in_u1, *u2);
   }
 
-  // Recurse on both halves with the remaining measures.
+  // Recurse on both halves with the remaining measures.  The halves are
+  // independent sub-instances, so with a pool (reached through the
+  // splitter, which received it via set_thread_pool) they run as a
+  // deterministic fork-join pair: task i computes only half[i], using
+  // splitter lane i (scratch-private replica sharing the immutable
+  // OrderingCache) and lane workspace i, and the merge below runs on the
+  // calling thread in index order — each half is a pure function of its
+  // inputs, so the output is bit-identical to the serial recursion.
+  // Nested levels fork only once: inside a pooled task run() executes
+  // inline, so the lanes' own recursions stay serial on their thread.
   const std::span<const MeasureRef> rest = measures.first(r - 1);
-  TwoColoring half[2] = {multi_split_rec(g, u1.inside, rest, splitter, ws),
-                         multi_split_rec(g, *u2, rest, splitter, ws)};
+  TwoColoring half[2];
+  ThreadPool* pool = splitter.thread_pool();
+  ISplitter* lanes[2] = {nullptr, nullptr};
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      !ThreadPool::on_worker_thread()) {
+    lanes[0] = splitter.lane(0);
+    lanes[1] = splitter.lane(1);
+  }
+  if (lanes[0] != nullptr && lanes[1] != nullptr) {
+    // Materialize both lane workspaces before the fork: creation mutates
+    // the parent workspace, which must never happen concurrently.
+    DecomposeWorkspace* lane_ws[2] = {&ws.lane_workspace(0),
+                                      &ws.lane_workspace(1)};
+    const std::span<const Vertex> part[2] = {u1.inside, *u2};
+    pool->run(2, [&](int i) {
+      half[i] = multi_split_rec(g, part[i], rest, *lanes[i], *lane_ws[i]);
+    });
+  } else {
+    half[0] = multi_split_rec(g, u1.inside, rest, splitter, ws);
+    half[1] = multi_split_rec(g, *u2, rest, splitter, ws);
+  }
   out.cut_cost += half[0].cut_cost + half[1].cut_cost;
 
   // Relabel each half so that side b keeps at most half of U_b's mass of

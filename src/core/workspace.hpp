@@ -85,6 +85,18 @@ class DecomposeWorkspace {
   /// Lease a cleared vertex-list buffer.
   VertexListLease vertex_list() { return VertexListLease(*this); }
 
+  /// Arena of deterministic fork-join lane `i` (multi_split's parallel
+  /// halves): each concurrent task leases from its own child workspace, so
+  /// the lane pools are never touched from two threads.  Created on
+  /// demand and persistent, which keeps repeated forked calls
+  /// allocation-free in steady state.  Call from the orchestration thread
+  /// (before forking), never from inside a pooled task.
+  DecomposeWorkspace& lane_workspace(int i) {
+    while (static_cast<std::size_t>(i) >= lane_ws_.size())
+      lane_ws_.push_back(std::make_unique<DecomposeWorkspace>());
+    return *lane_ws_[static_cast<std::size_t>(i)];
+  }
+
   RefineWorkspace refine;
 
  private:
@@ -120,6 +132,7 @@ class DecomposeWorkspace {
   std::vector<Membership*> free_;
   std::vector<std::unique_ptr<std::vector<Vertex>>> owned_lists_;
   std::vector<std::vector<Vertex>*> free_lists_;
+  std::vector<std::unique_ptr<DecomposeWorkspace>> lane_ws_;
 };
 
 }  // namespace mmd

@@ -52,10 +52,7 @@ CoarseLevel coarsen_heavy_edge(const Graph& g, std::span<const double> w,
     out.parent[static_cast<std::size_t>(u)] = coarse_n;
     ++coarse_n;
   }
-  out.weights.assign(static_cast<std::size_t>(coarse_n), 0.0);
-  for (Vertex v = 0; v < n; ++v)
-    out.weights[static_cast<std::size_t>(out.parent[static_cast<std::size_t>(v)])] +=
-        w[static_cast<std::size_t>(v)];
+  sum_weights_to_parents(out.parent, w, coarse_n, out.weights);
 
   GraphBuilder builder(coarse_n);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
@@ -68,6 +65,15 @@ CoarseLevel coarsen_heavy_edge(const Graph& g, std::span<const double> w,
     builder.set_vertex_weight(v, out.weights[static_cast<std::size_t>(v)]);
   out.graph = builder.build();
   return out;
+}
+
+void sum_weights_to_parents(std::span<const Vertex> parent,
+                            std::span<const double> w, Vertex coarse_n,
+                            std::vector<double>& out) {
+  MMD_REQUIRE(parent.size() == w.size(), "parent/weight arity mismatch");
+  out.assign(static_cast<std::size_t>(coarse_n), 0.0);
+  for (std::size_t v = 0; v < parent.size(); ++v)
+    out[static_cast<std::size_t>(parent[v])] += w[v];
 }
 
 Coloring project_coloring(const Coloring& coarse_chi,

@@ -29,6 +29,15 @@ struct CoarseLevel {
 CoarseLevel coarsen_heavy_edge(const Graph& g, std::span<const double> w,
                                std::uint64_t seed);
 
+/// Sum fine-level weights into their coarse parents:
+/// out = zeros(coarse_n); out[parent[v]] += w[v] in increasing v.
+/// coarsen_heavy_edge and FastContext's warm weight refresh both use this
+/// one definition, because the refresh must reproduce the coarsening's
+/// sums bit-for-bit (floating-point summation order matters).
+void sum_weights_to_parents(std::span<const Vertex> parent,
+                            std::span<const double> w, Vertex coarse_n,
+                            std::vector<double>& out);
+
 /// Project a coarse coloring back to the finer level.
 Coloring project_coloring(const Coloring& coarse_chi,
                           std::span<const Vertex> parent);

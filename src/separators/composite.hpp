@@ -33,9 +33,9 @@ class CompositeSplitter final : public ISplitter {
   }
 
   SplitResult split(const SplitRequest& request) override {
-    if (pool_ != nullptr && children_.size() >= 2) {
+    if (thread_pool() != nullptr && children_.size() >= 2) {
       results_.resize(children_.size());
-      ThreadPool& pool = *pool_;
+      ThreadPool& pool = *thread_pool();
       pool.run(static_cast<int>(children_.size()),
                [&](int i) { results_[static_cast<std::size_t>(i)] =
                                 children_[static_cast<std::size_t>(i)]->split(request); });
@@ -65,14 +65,27 @@ class CompositeSplitter final : public ISplitter {
     return s + ")";
   }
 
-  void set_thread_pool(ThreadPool* pool) override {
-    pool_ = pool;
+  /// A composite lane is a composite of child lanes: each child shares its
+  /// immutable per-graph state with the corresponding parent child and
+  /// owns its scratch.  Unsupported (nullptr) if any child lacks lanes.
+  std::unique_ptr<ISplitter> make_lane() override {
+    std::vector<std::unique_ptr<ISplitter>> lanes;
+    lanes.reserve(children_.size());
+    for (const auto& child : children_) {
+      std::unique_ptr<ISplitter> lane = child->make_lane();
+      if (lane == nullptr) return nullptr;
+      lanes.push_back(std::move(lane));
+    }
+    return std::make_unique<CompositeSplitter>(std::move(lanes));
+  }
+
+ protected:
+  void on_thread_pool_changed(ThreadPool* pool) override {
     for (const auto& child : children_) child->set_thread_pool(pool);
   }
 
  private:
   std::vector<std::unique_ptr<ISplitter>> children_;
-  ThreadPool* pool_ = nullptr;
   std::vector<SplitResult> results_;  // one slot per child (parallel path)
 };
 

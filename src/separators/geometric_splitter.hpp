@@ -31,6 +31,12 @@ class GeometricSplitter final : public ISplitter {
   SplitResult split(const SplitRequest& request) override;
   std::string name() const override { return "geometric"; }
 
+  /// Stateless between splits (deterministic per-options seed), so a lane
+  /// is simply a fresh instance with the same options.
+  std::unique_ptr<ISplitter> make_lane() override {
+    return std::make_unique<GeometricSplitter>(options_);
+  }
+
  private:
   GeometricSplitterOptions options_;
 };

@@ -32,10 +32,10 @@ std::int64_t cell_floor(std::int64_t x, std::int64_t alpha, std::int64_t l) {
 class GridSplitRec {
  public:
   GridSplitRec(const Graph& g, std::span<const double> weights,
-               OrderingCache& cache, Membership& in_level,
-               GridSplitter::Scratch& s)
-      : g_(g), weights_(weights), cache_(cache), in_level_(in_level), s_(s),
-        dim_(g.dim()) {}
+               OrderingCache& cache, OrderingScratch& radix,
+               Membership& in_level, GridSplitter::Scratch& s)
+      : g_(g), weights_(weights), cache_(cache), radix_(radix),
+        in_level_(in_level), s_(s), dim_(g.dim()) {}
 
   int depth = 0;
 
@@ -276,8 +276,11 @@ class GridSplitRec {
   std::vector<Vertex> trivial(const std::vector<Vertex>& verts,
                               double target) const {
     std::vector<Vertex> order;
-    cache_.bind(g_);  // lazy: most splits never reach the trivial level
-    cache_.subset_order(/*lexicographic=*/0, verts, nullptr, order);
+    // Lazy: most splits never reach the trivial level.  bind() is
+    // internally synchronized and the query takes the owning splitter's
+    // radix scratch, so lanes sharing this cache stay race-free.
+    cache_.bind(g_);
+    cache_.subset_order(/*lexicographic=*/0, verts, nullptr, order, &radix_);
     const std::size_t len = best_prefix(order, weights_, target);
     order.resize(len);
     return order;
@@ -286,6 +289,7 @@ class GridSplitRec {
   const Graph& g_;
   std::span<const double> weights_;
   OrderingCache& cache_;
+  OrderingScratch& radix_;
   Membership& in_level_;
   GridSplitter::Scratch& s_;
   int dim_;
@@ -317,7 +321,7 @@ SplitResult GridSplitter::split(const SplitRequest& request) {
 
   std::vector<Vertex> top(request.w_list.begin(), request.w_list.end());
   in_level_.assign(top);
-  GridSplitRec rec(g, request.weights, cache_, in_level_, scratch_);
+  GridSplitRec rec(g, request.weights, *cache_, radix_, in_level_, scratch_);
   std::vector<Vertex> inside =
       rec.run(std::move(top), request.target, scale, 0.0);
   last_depth_ = rec.depth;

@@ -21,6 +21,8 @@
 // normalization ||1/c||_inf = 1).
 #pragma once
 
+#include <memory>
+
 #include "separators/orderings.hpp"
 #include "separators/splitter.hpp"
 
@@ -31,10 +33,21 @@ class GridSplitter final : public ISplitter {
   /// The graph handed to split() must carry coordinates; the cost/monotone
   /// guarantees additionally require it to be a grid graph (L1-unit edges),
   /// which `strict` enforces at split time.
-  explicit GridSplitter(bool strict = false) : strict_(strict) {}
+  explicit GridSplitter(bool strict = false)
+      : strict_(strict), cache_(std::make_shared<OrderingCache>()) {}
 
   SplitResult split(const SplitRequest& request) override;
   std::string name() const override { return "grid"; }
+
+  /// Lane replica: shares the immutable OrderingCache (used only by the
+  /// trivial l == 1 level) and the cached min-positive-cost value; owns
+  /// its memberships and cell-sort scratch.
+  std::unique_ptr<ISplitter> make_lane() override {
+    auto lane = std::unique_ptr<GridSplitter>(new GridSplitter(strict_, cache_));
+    lane->minpos_uid_ = minpos_uid_;
+    lane->min_pos_ = min_pos_;
+    return lane;
+  }
 
   /// Number of recursion levels used by the last split (for the E4 bench).
   int last_depth() const { return last_depth_; }
@@ -59,13 +72,18 @@ class GridSplitter final : public ISplitter {
   };
 
  private:
+  GridSplitter(bool strict, std::shared_ptr<OrderingCache> cache)
+      : strict_(strict), cache_(std::move(cache)) {}
+
   bool strict_;
   int last_depth_ = 0;
   // Persistent per-instance scratch: membership maps would otherwise cost
-  // O(|V|) per split regardless of |W|.
-  OrderingCache cache_;
+  // O(|V|) per split regardless of |W|.  The cache is shared with lanes;
+  // radix_ is this instance's scratch for the shared cache's queries.
+  std::shared_ptr<OrderingCache> cache_;
   Membership in_w_, in_u_, in_level_;
   Scratch scratch_;
+  OrderingScratch radix_;
   // Cached global minimum positive edge cost of the bound graph.
   std::uint64_t minpos_uid_ = 0;
   double min_pos_ = 0.0;

@@ -220,14 +220,17 @@ void sort_by_key(std::span<const std::uint64_t> key, std::vector<Vertex>& order)
 }  // namespace
 
 void OrderingCache::rebind(const Graph& g) {
+  // Caller holds bind_mu_.  Every field is written before the final
+  // release store of g_, which the subset queries' acquire loads pair
+  // with.
   g_rebind_count.fetch_add(1, std::memory_order_relaxed);
-  g_ = &g;
   uid_ = g.uid();
   n_ = g.num_vertices();
   if (!g.has_coords()) {
     num_orders_ = 0;
     perm_.clear();
     rank_.clear();
+    g_.store(&g, std::memory_order_release);
     return;
   }
   const int dim = g.dim();
@@ -283,13 +286,15 @@ void OrderingCache::rebind(const Graph& g) {
       rank_[base + static_cast<std::size_t>(order[i])] = static_cast<std::int32_t>(i);
     }
   }
+  g_.store(&g, std::memory_order_release);
 }
 
 void OrderingCache::subset_order(int idx, std::span<const Vertex> w_list,
                                  const Membership* in_w,
                                  std::vector<Vertex>& out,
                                  OrderingScratch* scratch) const {
-  MMD_REQUIRE(g_ != nullptr && idx >= 0 && idx < num_orders_,
+  MMD_REQUIRE(g_.load(std::memory_order_acquire) != nullptr && idx >= 0 &&
+                  idx < num_orders_,
               "ordering cache not bound / index out of range");
   const std::size_t base = static_cast<std::size_t>(idx) * n_;
   // A gather over the global order costs one membership probe per graph
@@ -321,9 +326,10 @@ void OrderingCache::subset_order(int idx, std::span<const Vertex> w_list,
 void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
                                         std::vector<Vertex>& out,
                                         OrderingScratch* scratch) const {
-  MMD_REQUIRE(g_ != nullptr && g_->has_coords(),
+  const Graph* bound = g_.load(std::memory_order_acquire);
+  MMD_REQUIRE(bound != nullptr && bound->has_coords(),
               "ordering cache not bound to a coordinate graph");
-  const Graph& g = *g_;
+  const Graph& g = *bound;
   OrderingScratch& sc = scratch ? *scratch : scratch_;
   if (g.dim() != 2) {
     out = morton_order(g, w_list);

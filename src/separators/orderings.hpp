@@ -8,6 +8,8 @@
 //     geometric instances.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -70,17 +72,26 @@ long ordering_cache_rebind_count();
 /// box, so subset_morton_order computes it per subset (with interleaved
 /// keys and a radix sort in two dimensions).
 ///
-/// Thread safety: bind() mutates and must happen before concurrent use;
-/// the subset queries are const and safe to call concurrently as long as
-/// every concurrent caller passes a distinct OrderingScratch.
+/// Thread safety: one cache may be shared by several splitter lanes
+/// running concurrent splits on the *same* graph (ISplitter::make_lane).
+/// bind() is fully serialized on an internal mutex — an uncontended lock
+/// per split is noise next to the per-split work, and it closes every
+/// rebind-vs-bind race (including the graph-address-reuse case: uids
+/// never recur, see Graph::uid, so the uid compare is authoritative).
+/// The subset queries are const and safe to call concurrently once every
+/// concurrent caller's bind(g) has returned, as long as each passes a
+/// distinct OrderingScratch; rebinding concurrently with queries on
+/// another lane is not supported (lanes share one graph by contract).
 class OrderingCache {
  public:
   /// Bind to g, computing the global orders once; no-op when already bound
   /// to this graph.  Without coordinates the cache is empty.
   void bind(const Graph& g) {
-    if (g_ != nullptr && uid_ == g.uid()) {
-      g_ = &g;  // same immutable content; the old instance may be gone
-      return;
+    std::lock_guard<std::mutex> lock(bind_mu_);
+    if (g_.load(std::memory_order_relaxed) == &g && uid_ == g.uid()) return;
+    if (g_.load(std::memory_order_relaxed) != nullptr && uid_ == g.uid()) {
+      g_.store(&g, std::memory_order_release);  // same immutable content;
+      return;                                   // the old instance may be gone
     }
     rebind(g);
   }
@@ -112,13 +123,18 @@ class OrderingCache {
   void radix_sort_by_rank(const std::int32_t* rank, std::vector<Vertex>& out,
                           OrderingScratch& scratch) const;
 
-  const Graph* g_ = nullptr;
+  // g_ is the publication point: rebind writes every other field first and
+  // stores g_ last (release), so the lock-free acquire loads in the subset
+  // queries see fully built orders; all writes happen under bind_mu_.
+  std::atomic<const Graph*> g_{nullptr};
+  std::mutex bind_mu_;  // serializes bind()/rebind()
   std::uint64_t uid_ = 0;
   Vertex n_ = 0;
   int num_orders_ = 0;
   std::vector<Vertex> perm_;        // num_orders blocks of n (sorted order)
   std::vector<std::int32_t> rank_;  // num_orders blocks of n (inverse perm)
   // Radix scratch for the serial (scratch == nullptr) subset queries.
+  // Concurrent lane callers must pass their own scratch instead.
   mutable OrderingScratch scratch_;
 };
 

@@ -45,20 +45,20 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
   int num_sweeps = 0;
   bool morton = false;
   if (options_.use_coordinate_sweeps && g.has_coords()) {
-    cache_.bind(g);
+    cache_->bind(g);
     // Same sweep family as the seed: lexicographic, per-axis (cached
     // global orders restricted to W), and — in dimension >= 2, where it
     // differs from lexicographic — Morton anchored at W's bounding box.
-    int sweeps = cache_.num_orders() + (g.dim() >= 2 ? 1 : 0);
+    int sweeps = cache_->num_orders() + (g.dim() >= 2 ? 1 : 0);
     if (options_.max_sweeps > 0) sweeps = std::min(sweeps, options_.max_sweeps);
-    morton = sweeps > cache_.num_orders();
-    num_sweeps = std::min(sweeps, cache_.num_orders());
+    morton = sweeps > cache_->num_orders();
+    num_sweeps = std::min(sweeps, cache_->num_orders());
   }
   const int candidates =
       (options_.use_bfs ? 1 : 0) + num_sweeps + (morton ? 1 : 0);
 
   SplitResult best;
-  if (pool_ != nullptr && candidates >= 2) {
+  if (thread_pool() != nullptr && candidates >= 2) {
     best = split_parallel(request, num_sweeps, morton);
   } else {
     bool have_best = false;
@@ -80,12 +80,14 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
       pseudo_peripheral_bfs_order_into(g, request.w_list, bfs_, order_);
       consider(order_);
     }
+    // The cache may be shared with concurrently splitting lanes, so this
+    // instance always passes its own radix scratch.
     for (int idx = 0; idx < num_sweeps; ++idx) {
-      cache_.subset_order(idx, request.w_list, &in_w_, order_);
+      cache_->subset_order(idx, request.w_list, &in_w_, order_, &radix_);
       consider(order_);
     }
     if (morton) {
-      cache_.subset_morton_order(request.w_list, order_);
+      cache_->subset_morton_order(request.w_list, order_, &radix_);
       consider(order_);
     }
     if (!have_best) {  // coordinate-free fallback: id order
@@ -113,16 +115,16 @@ SplitResult PrefixSplitter::split_parallel(const SplitRequest& request,
 
   // Each candidate writes only its own slot; in_w_ and cache_ are shared
   // read-only (cache_ was bound before the fork, scratch is per slot).
-  pool_->run(count, [&](int i) {
+  thread_pool()->run(count, [&](int i) {
     EvalSlot& slot = *slots_[static_cast<std::size_t>(i)];
     if (i < bfs) {
       pseudo_peripheral_bfs_order_into(g, request.w_list, slot.bfs,
                                        slot.order);
     } else if (i - bfs < num_sweeps) {
-      cache_.subset_order(i - bfs, request.w_list, &in_w_, slot.order,
-                          &slot.radix);
+      cache_->subset_order(i - bfs, request.w_list, &in_w_, slot.order,
+                           &slot.radix);
     } else {
-      cache_.subset_morton_order(request.w_list, slot.order, &slot.radix);
+      cache_->subset_morton_order(request.w_list, slot.order, &slot.radix);
     }
     slot.prefix_len =
         best_prefix(slot.order, request.weights, request.target);

@@ -30,19 +30,26 @@ struct PrefixSplitterOptions {
 class PrefixSplitter final : public ISplitter {
  public:
   explicit PrefixSplitter(PrefixSplitterOptions options = {})
-      : options_(options) {}
+      : options_(options), cache_(std::make_shared<OrderingCache>()) {}
 
   SplitResult split(const SplitRequest& request) override;
   std::string name() const override { return "prefix"; }
 
-  /// With a pool, the candidate orders of one split (BFS + coordinate
-  /// sweeps + Morton) are generated and costed concurrently, one
-  /// index-addressed evaluation slot per candidate, and reduced in
-  /// candidate-index order — bit-identical to the serial loop, which keeps
-  /// the first candidate of strictly minimal boundary cost.
-  void set_thread_pool(ThreadPool* pool) override { pool_ = pool; }
+  /// A lane shares the immutable OrderingCache (the O(n log n) per-graph
+  /// global orders are computed once, by whoever binds first) and owns its
+  /// memberships, BFS/radix scratch, and evaluation slots — so a lane and
+  /// its parent may run concurrent split() calls on the same graph with
+  /// bit-identical results.
+  std::unique_ptr<ISplitter> make_lane() override {
+    return std::unique_ptr<ISplitter>(new PrefixSplitter(options_, cache_));
+  }
 
  private:
+  /// Lane constructor: adopt an existing shared cache.
+  PrefixSplitter(const PrefixSplitterOptions& options,
+                 std::shared_ptr<OrderingCache> cache)
+      : options_(options), cache_(std::move(cache)) {}
+
   // One candidate order's private evaluation state (parallel path only).
   // unique_ptr keeps slot addresses stable while the vector grows.
   struct EvalSlot {
@@ -54,18 +61,26 @@ class PrefixSplitter final : public ISplitter {
     double cost = 0.0;
   };
 
+  /// With a pool, the candidate orders of one split (BFS + coordinate
+  /// sweeps + Morton) are generated and costed concurrently, one
+  /// index-addressed evaluation slot per candidate, and reduced in
+  /// candidate-index order — bit-identical to the serial loop, which keeps
+  /// the first candidate of strictly minimal boundary cost.
   SplitResult split_parallel(const SplitRequest& request, int num_sweeps,
                              bool morton);
 
   PrefixSplitterOptions options_;
-  ThreadPool* pool_ = nullptr;
   // Per-instance scratch (ISplitter contract: splitters may keep scratch).
   // The coordinate sweep orders are cached per graph; memberships and
   // order buffers persist across splits so the steady-state per-split cost
-  // is O(|W| log |W|), independent of |V|.
-  OrderingCache cache_;
+  // is O(|W| log |W|), independent of |V|.  The cache is shared with lanes
+  // (read-only after bind); every other member is lane-private — including
+  // radix_, the subset-query scratch this instance passes to the shared
+  // cache so concurrent lanes never touch the cache's internal buffers.
+  std::shared_ptr<OrderingCache> cache_;
   Membership in_w_, in_u_;
   BfsScratch bfs_;
+  OrderingScratch radix_;
   std::vector<Vertex> order_;
   std::vector<std::unique_ptr<EvalSlot>> slots_;
 };

@@ -5,6 +5,21 @@
 
 namespace mmd {
 
+ISplitter* ISplitter::lane(int i) {
+  MMD_REQUIRE(i >= 0, "lane index must be non-negative");
+  if (lanes_unsupported_) return nullptr;
+  while (static_cast<std::size_t>(i) >= lanes_.size()) {
+    std::unique_ptr<ISplitter> lane = make_lane();
+    if (lane == nullptr) {
+      lanes_unsupported_ = true;  // don't retry the factory every call
+      return nullptr;
+    }
+    lane->set_thread_pool(pool_);
+    lanes_.push_back(std::move(lane));
+  }
+  return lanes_[static_cast<std::size_t>(i)].get();
+}
+
 void check_split_contract(const SplitRequest& request, const SplitResult& result) {
   MMD_REQUIRE(request.g != nullptr, "null graph in split request");
   const Graph& g = *request.g;

@@ -48,7 +48,8 @@ class ISplitter {
   virtual ~ISplitter() = default;
 
   /// Compute a splitting set.  Not required to be thread-safe (splitters
-  /// may keep scratch buffers).
+  /// may keep scratch buffers); concurrent callers must each hold their
+  /// own lane (see make_lane / lane below).
   virtual SplitResult split(const SplitRequest& request) = 0;
 
   virtual std::string name() const = 0;
@@ -59,8 +60,45 @@ class ISplitter {
   /// bit-identical to the serial (pool == nullptr) path — candidates are
   /// index-addressed and reduced in index order, never by arrival time.
   /// `pool` is borrowed, must outlive the splitter's use of it, and
-  /// nullptr restores the serial path.  Default: ignore (stay serial).
-  virtual void set_thread_pool(ThreadPool* pool) { (void)pool; }
+  /// nullptr restores the serial path.  Changing the pool drops any
+  /// cached lanes (they would otherwise hold the stale pointer).
+  void set_thread_pool(ThreadPool* pool) {
+    pool_ = pool;
+    lanes_.clear();
+    on_thread_pool_changed(pool);
+  }
+
+  /// The pool handed to set_thread_pool, or nullptr (serial).  Phases
+  /// *between* splits (multi_split's fork-join halves) use this to reach
+  /// the pool without any extra plumbing through the call chain.
+  ThreadPool* thread_pool() const { return pool_; }
+
+  /// Factory for an independent execution lane: a splitter that produces
+  /// bit-identical results to this one on every request, shares this
+  /// splitter's immutable per-graph state (the OrderingCache), but owns
+  /// all mutable scratch — so one lane per concurrent task makes split()
+  /// safe to run in parallel.  Returns nullptr when the implementation
+  /// does not support lanes (callers must then stay serial).  Default:
+  /// unsupported.
+  virtual std::unique_ptr<ISplitter> make_lane() { return nullptr; }
+
+  /// Persistent lane `i`, created on first use via make_lane and cached so
+  /// repeated fork-join phases reuse warm lane scratch instead of
+  /// rebuilding replicas per call; nullptr when lanes are unsupported.
+  /// Must be called from the orchestration thread (not from inside a
+  /// pooled task) before forking.
+  ISplitter* lane(int i);
+
+ protected:
+  /// Hook for implementations that forward the pool (composite children)
+  /// or cache it in a different shape; the base class has already stored
+  /// `pool` and dropped stale lanes when this runs.
+  virtual void on_thread_pool_changed(ThreadPool* pool) { (void)pool; }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::vector<std::unique_ptr<ISplitter>> lanes_;
+  bool lanes_unsupported_ = false;
 };
 
 /// Verify the hard weight-window postcondition; throws InvariantViolation

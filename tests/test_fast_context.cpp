@@ -1,0 +1,235 @@
+// FastContext: the warm multilevel path must be bit-identical across
+// thread counts and across cold/warm context reuse, perform zero
+// hierarchy/splitter/OrderingCache rebuilds after call one, and honor
+// FastOptions::seed (default pinned to the historical hardcoded value).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fast.hpp"
+#include "gen/basic.hpp"
+#include "gen/geometric.hpp"
+#include "gen/grid.hpp"
+#include "separators/orderings.hpp"
+#include "test_helpers.hpp"
+
+namespace mmd {
+namespace {
+
+using testing::expect_total_coloring;
+
+struct Instance {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  out.push_back({"grid2d", make_grid_cube(2, 24)});
+  out.push_back({"geometric", make_random_geometric(600, 0.07)});
+  out.push_back({"torus", make_torus(20, 30)});
+  out.push_back({"tree", make_complete_binary_tree(9)});
+  return out;
+}
+
+FastOptions base_options(int k = 8) {
+  FastOptions opt;
+  opt.inner.k = k;
+  opt.coarse_target = 128;  // small enough that every instance coarsens
+  return opt;
+}
+
+TEST(FastContext, BitIdenticalAcrossThreadCounts) {
+  for (const Instance& inst : instances()) {
+    const Graph& g = inst.graph;
+    for (const WeightModel model :
+         {WeightModel::Unit, WeightModel::Uniform}) {
+      const auto w = testing::weights_for(g, model, 29);
+      const FastOptions opt = base_options();
+
+      FastContext serial(g, opt);
+      const FastResult base = serial.decompose(w);
+      expect_total_coloring(g, base.coloring);
+      EXPECT_TRUE(base.balance.strictly_balanced) << inst.name;
+      EXPECT_GT(base.levels, 0) << inst.name;
+
+      for (const int threads : {2, 8}) {
+        FastOptions topt = opt;
+        topt.inner.num_threads = threads;
+        FastContext ctx(g, topt);
+        const FastResult res = ctx.decompose(w);
+        // Bit-identical: same class for every vertex, not merely equal
+        // quality (the multi_split fork-join halves and the splitter
+        // candidate fan-out must never change the outcome).
+        EXPECT_EQ(res.coloring.color, base.coloring.color)
+            << inst.name << " threads=" << threads
+            << " model=" << weight_model_name(model);
+        EXPECT_EQ(res.max_boundary, base.max_boundary) << inst.name;
+        EXPECT_EQ(res.levels, base.levels) << inst.name;
+      }
+    }
+  }
+}
+
+TEST(FastContext, ConvenienceOverloadMatchesContext) {
+  const Graph g = make_grid_cube(2, 32);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 7);
+  FastOptions opt = base_options(6);
+  opt.inner.num_threads = 4;
+  const FastResult via_overload = decompose_fast(g, w, opt);
+  FastContext ctx(g, opt);
+  const FastResult via_context = ctx.decompose(w);
+  EXPECT_EQ(via_overload.coloring.color, via_context.coloring.color);
+  EXPECT_EQ(via_overload.max_boundary, via_context.max_boundary);
+}
+
+// ---- warm-path regression: zero rebuilds after the first call ----------
+
+TEST(FastContext, SecondWarmCallDoesZeroRebuilds) {
+  const Graph g = make_grid_cube(2, 32);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  FastContext ctx(g, base_options());
+
+  const FastResult first = ctx.decompose(w);
+  EXPECT_EQ(ctx.stats().coarsen_builds, 1);
+  EXPECT_EQ(ctx.stats().fine_splitter_builds, 1);
+  EXPECT_EQ(ctx.coarse_context().stats().splitter_builds, 1);
+  const long rebinds_after_first = ordering_cache_rebind_count();
+
+  const FastResult second = ctx.decompose(w);
+  // The regression this context exists to close: the cold path re-coarsened
+  // the graph, rebuilt a coarse-level splitter per decompose() call, and
+  // built a throwaway finest-level splitter (plus its OrderingCache) for
+  // the closing binpack2 pass.  A warm context must do none of that.
+  EXPECT_EQ(ctx.stats().coarsen_builds, 1);
+  EXPECT_EQ(ctx.stats().fine_splitter_builds, 1);
+  EXPECT_EQ(ctx.coarse_context().stats().splitter_builds, 1);
+  EXPECT_EQ(ordering_cache_rebind_count(), rebinds_after_first);
+  EXPECT_EQ(ctx.stats().fast_calls, 2);
+  EXPECT_EQ(second.coloring.color, first.coloring.color);
+  EXPECT_EQ(second.levels, first.levels);
+}
+
+TEST(FastContext, WarmReuseMatchesColdAcrossWeights) {
+  const Graph g = make_grid_cube(2, 32);
+  const FastOptions opt = base_options();
+  FastContext ctx(g, opt);
+  for (const std::uint64_t seed : {5ull, 21ull, 42ull}) {
+    const auto w = testing::weights_for(g, WeightModel::Uniform, seed);
+    const FastResult warm = ctx.decompose(w);
+    const FastResult cold = decompose_fast(g, w, opt);
+    // The hierarchy structure is weight-independent, so a warm context
+    // reusing it (refreshing only the per-level weight sums) must be
+    // bit-identical to a cold context that re-coarsened from scratch.
+    EXPECT_EQ(warm.coloring.color, cold.coloring.color) << "seed=" << seed;
+    EXPECT_EQ(warm.max_boundary, cold.max_boundary);
+    EXPECT_TRUE(warm.balance.strictly_balanced);
+  }
+  EXPECT_EQ(ctx.stats().coarsen_builds, 1);
+  EXPECT_EQ(ctx.stats().pool_builds, 0);  // num_threads stayed 1
+}
+
+TEST(FastContext, ReconcileRebuildsOnlyWhatChanged) {
+  const Graph g = make_grid_cube(2, 32);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 11);
+  FastOptions opt = base_options();
+  FastContext ctx(g, opt);
+  const FastResult serial = ctx.decompose(w);
+
+  // k sweeps stay fully warm.
+  FastOptions kopt = opt;
+  kopt.inner.k = 5;
+  ctx.decompose(w, kopt);
+  EXPECT_EQ(ctx.stats().coarsen_builds, 1);
+  EXPECT_EQ(ctx.stats().fine_splitter_builds, 1);
+
+  // A thread-count change rebuilds the pool (and rewires the splitters)
+  // but keeps the hierarchy — and stays bit-identical.
+  FastOptions topt = opt;
+  topt.inner.num_threads = 2;
+  const FastResult threaded = ctx.decompose(w, topt);
+  EXPECT_EQ(ctx.stats().pool_builds, 1);
+  EXPECT_EQ(ctx.stats().coarsen_builds, 1);
+  EXPECT_EQ(threaded.coloring.color, serial.coloring.color);
+
+  // A coarsening-seed change invalidates the hierarchy.
+  FastOptions sopt = opt;
+  sopt.seed = 99;
+  ctx.decompose(w, sopt);
+  EXPECT_EQ(ctx.stats().coarsen_builds, 2);
+}
+
+// ---- FastOptions::seed ------------------------------------------------
+
+TEST(FastContext, DefaultSeedPinsHistoricalOutput) {
+  // The default must reproduce the historical hardcoded 0xfa57 coarsening
+  // seed bit-for-bit: an explicit 0xfa57 and the default are the same run.
+  const Graph g = make_grid_cube(2, 32);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  const FastOptions def = base_options();
+  FastOptions expl = def;
+  expl.seed = 0xfa57;
+  EXPECT_EQ(def.seed, 0xfa57u);
+  const FastResult a = decompose_fast(g, w, def);
+  const FastResult b = decompose_fast(g, w, expl);
+  EXPECT_EQ(a.coloring.color, b.coloring.color);
+  EXPECT_EQ(a.max_boundary, b.max_boundary);
+}
+
+TEST(FastContext, DistinctSeedsProduceDistinctHierarchies) {
+  // Two calls with different seeds must actually differ (the seed used to
+  // be hardcoded, so this pins the plumbing end to end).  On this instance
+  // the different matchings survive to the final coloring.
+  const Graph g = make_grid_cube(2, 32);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 3);
+  FastOptions a = base_options();
+  a.coarse_target = 64;
+  FastOptions b = a;
+  b.seed = 1;
+  const FastResult ra = decompose_fast(g, w, a);
+  const FastResult rb = decompose_fast(g, w, b);
+  EXPECT_NE(ra.coloring.color, rb.coloring.color);
+  // Both still carry the full Definition 1 guarantee.
+  EXPECT_TRUE(ra.balance.strictly_balanced);
+  EXPECT_TRUE(rb.balance.strictly_balanced);
+}
+
+// ---- degenerate shapes -------------------------------------------------
+
+TEST(FastContext, SmallGraphSkipsCoarseningAndSharesSplitter) {
+  const Graph g = make_grid_cube(2, 8);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 31);
+  FastOptions opt;
+  opt.inner.k = 4;
+  opt.coarse_target = 4096;  // larger than the graph
+  FastContext ctx(g, opt);
+  const FastResult res = ctx.decompose(w);
+  EXPECT_EQ(res.levels, 0);
+  EXPECT_TRUE(res.balance.strictly_balanced);
+  // With no coarsening the closing pass reuses the coarse context's
+  // splitter (which is bound to the finest graph) instead of building a
+  // twin.
+  EXPECT_EQ(ctx.stats().fine_splitter_builds, 0);
+  EXPECT_EQ(ctx.coarse_context().stats().splitter_builds, 1);
+
+  const long rebinds = ordering_cache_rebind_count();
+  const FastResult again = ctx.decompose(w);
+  EXPECT_EQ(ordering_cache_rebind_count(), rebinds);
+  EXPECT_EQ(again.coloring.color, res.coloring.color);
+}
+
+TEST(FastContext, KOne) {
+  const Graph g = make_grid_cube(2, 16);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  FastOptions opt;
+  opt.inner.k = 1;
+  opt.coarse_target = 64;
+  FastContext ctx(g, opt);
+  const FastResult res = ctx.decompose(w);
+  testing::expect_total_coloring(g, res.coloring);
+  EXPECT_DOUBLE_EQ(res.max_boundary, 0.0);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -1,0 +1,221 @@
+// multi_split's fork-join halves: with a thread pool reachable through the
+// splitter, the two recursion halves run concurrently on per-lane splitter
+// replicas (ISplitter::make_lane) and per-lane workspaces — and must stay
+// bit-identical to the serial recursion.  The pooled VertexListLease /
+// lane-workspace machinery must also stay allocation-free in steady state,
+// which the counting allocator below asserts directly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/decompose.hpp"
+#include "core/multi_split.hpp"
+#include "gen/basic.hpp"
+#include "gen/geometric.hpp"
+#include "gen/grid.hpp"
+#include "graph/subgraph.hpp"
+#include "separators/prefix_splitter.hpp"
+#include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
+
+// ---- counting allocator ---------------------------------------------------
+// Replacing the global allocator in this test binary lets the steady-state
+// test assert heap-allocation counts directly.
+
+namespace {
+std::atomic<long> g_alloc_count{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mmd {
+namespace {
+
+using testing::all_vertices;
+
+struct Instance {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  out.push_back({"grid2d", make_grid_cube(2, 14)});
+  out.push_back({"geometric", make_random_geometric(400, 0.09)});
+  out.push_back({"torus", make_torus(14, 18)});
+  out.push_back({"tree", make_complete_binary_tree(8)});
+  return out;
+}
+
+std::vector<std::vector<double>> measures_for(const Graph& g, int r) {
+  std::vector<std::vector<double>> out;
+  for (int j = 0; j < r; ++j)
+    out.push_back(testing::weights_for(
+        g, testing::weight_models()[static_cast<std::size_t>(j) %
+                                    testing::weight_models().size()],
+        100 + static_cast<std::uint64_t>(j)));
+  return out;
+}
+
+TEST(MultiSplitThreads, ForkedHalvesBitIdenticalToSerial) {
+  for (const Instance& inst : instances()) {
+    const Graph& g = inst.graph;
+    const auto vs = all_vertices(g);
+    for (const int r : {2, 3, 4}) {
+      const auto measures = measures_for(g, r);
+      const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+      PrefixSplitter serial_splitter;
+      const TwoColoring serial = multi_split(g, vs, refs, serial_splitter);
+
+      for (const int threads : {2, 4}) {
+        ThreadPool pool(threads);
+        PrefixSplitter splitter;
+        splitter.set_thread_pool(&pool);
+        DecomposeWorkspace ws;
+        const TwoColoring par = multi_split(g, vs, refs, splitter, &ws);
+        // Bit-identical halves: same vertices in the same order on each
+        // side, same accumulated cut cost.
+        EXPECT_EQ(par.side[0], serial.side[0])
+            << inst.name << " r=" << r << " threads=" << threads;
+        EXPECT_EQ(par.side[1], serial.side[1])
+            << inst.name << " r=" << r << " threads=" << threads;
+        EXPECT_EQ(par.cut_cost, serial.cut_cost) << inst.name << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(MultiSplitThreads, CompositeSplitterLanesBitIdentical) {
+  // The Auto stack on a grid is best-of(grid, prefix); its lanes are
+  // composites of child lanes sharing each child's immutable cache.
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const auto measures = measures_for(g, 3);
+  const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+  const auto serial_splitter = make_default_splitter(g, SplitterKind::Auto);
+  const TwoColoring serial = multi_split(g, vs, refs, *serial_splitter);
+
+  ThreadPool pool(4);
+  const auto splitter = make_default_splitter(g, SplitterKind::Auto);
+  splitter->set_thread_pool(&pool);
+  DecomposeWorkspace ws;
+  const TwoColoring par = multi_split(g, vs, refs, *splitter, &ws);
+  EXPECT_EQ(par.side[0], serial.side[0]);
+  EXPECT_EQ(par.side[1], serial.side[1]);
+  EXPECT_EQ(par.cut_cost, serial.cut_cost);
+}
+
+TEST(MultiSplitThreads, LaneMatchesParentOnEveryRequest) {
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 17);
+
+  for (const SplitterKind kind : {SplitterKind::Prefix, SplitterKind::Auto,
+                                  SplitterKind::Grid}) {
+    const auto parent = make_default_splitter(g, kind);
+    ISplitter* lane = parent->lane(0);
+    ASSERT_NE(lane, nullptr) << parent->name();
+    // Same lane object comes back (persistent, warm across calls).
+    EXPECT_EQ(parent->lane(0), lane);
+
+    SplitRequest req;
+    req.g = &g;
+    req.w_list = vs;
+    req.weights = w;
+    req.target = set_measure(std::span<const double>(w), vs) / 2.0;
+    const SplitResult a = parent->split(req);
+    const SplitResult b = lane->split(req);
+    EXPECT_EQ(a.inside, b.inside) << parent->name();
+    EXPECT_EQ(a.boundary_cost, b.boundary_cost) << parent->name();
+    EXPECT_EQ(a.weight, b.weight) << parent->name();
+  }
+}
+
+// ---- steady-state allocation behavior ----------------------------------
+
+TEST(MultiSplitThreads, WarmLeasesMakeNoHeapAllocations) {
+  const Graph g = make_grid_cube(2, 14);
+  ThreadPool pool(2);
+  PrefixSplitter splitter;
+  splitter.set_thread_pool(&pool);
+  DecomposeWorkspace ws;
+  const auto vs = all_vertices(g);
+  const auto measures = measures_for(g, 3);
+  const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+  // Two warm-up calls grow every pool (vertex lists, memberships, lane
+  // workspaces, splitter lanes and their scratch) to steady state.
+  (void)multi_split(g, vs, refs, splitter, &ws);
+  (void)multi_split(g, vs, refs, splitter, &ws);
+
+  // The pooled leases themselves are allocation-free once warm — in the
+  // parent workspace and in both fork-join lane workspaces.
+  const long before = g_alloc_count.load();
+  for (int round = 0; round < 64; ++round) {
+    const auto list = ws.vertex_list();
+    list->push_back(0);
+    const auto member = ws.membership(g.num_vertices());
+    member->add(0);
+    for (int lane = 0; lane < 2; ++lane) {
+      DecomposeWorkspace& lane_ws = ws.lane_workspace(lane);
+      const auto lane_list = lane_ws.vertex_list();
+      lane_list->push_back(1);
+      const auto lane_member = lane_ws.membership(g.num_vertices());
+      lane_member->add(1);
+    }
+  }
+  EXPECT_EQ(g_alloc_count.load() - before, 0)
+      << "pooled leases allocated in steady state";
+}
+
+TEST(MultiSplitThreads, SteadyStateAllocationCountIsStable) {
+  // A full multi_split necessarily allocates its result vectors, but in
+  // steady state (warm workspace, warm lanes) the per-call allocation
+  // count must be flat — no hidden per-call growth from the parallel
+  // halves, the lane workspaces, or the splitter replicas.
+  const Graph g = make_grid_cube(2, 14);
+  ThreadPool pool(2);
+  PrefixSplitter splitter;
+  splitter.set_thread_pool(&pool);
+  DecomposeWorkspace ws;
+  const auto vs = all_vertices(g);
+  const auto measures = measures_for(g, 3);
+  const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+  (void)multi_split(g, vs, refs, splitter, &ws);
+  (void)multi_split(g, vs, refs, splitter, &ws);
+
+  const long before_a = g_alloc_count.load();
+  const TwoColoring a = multi_split(g, vs, refs, splitter, &ws);
+  const long cost_a = g_alloc_count.load() - before_a;
+
+  const long before_b = g_alloc_count.load();
+  const TwoColoring b = multi_split(g, vs, refs, splitter, &ws);
+  const long cost_b = g_alloc_count.load() - before_b;
+
+  EXPECT_EQ(cost_a, cost_b);
+  EXPECT_EQ(a.side[0], b.side[0]);
+  EXPECT_EQ(a.side[1], b.side[1]);
+}
+
+}  // namespace
+}  // namespace mmd

@@ -171,6 +171,34 @@ TEST(FmRefine, NeverWorsensAndKeepsWindow) {
   EXPECT_NEAR(fresh.weight, res.weight, 1e-9);
 }
 
+TEST(PrefixSplitterScratch, RebindsWhenGraphAddressIsReused) {
+  // Regression: the OrderingCache bind fast path must compare uids, not
+  // just addresses — reassigning the graph variable puts a *new* graph at
+  // the *old* address, and serving the stale cached orders silently
+  // returns a wrong split in Release builds.
+  PrefixSplitter splitter;
+  Graph g = make_grid_cube(2, 8);
+  std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  auto half_split = [&] {
+    const auto vs = testing::all_vertices(g);
+    SplitRequest req;
+    req.g = &g;
+    req.w_list = vs;
+    req.weights = w;
+    req.target = set_measure(std::span<const double>(w), vs) / 2.0;
+    return splitter.split(req);
+  };
+  const SplitResult small = half_split();
+  EXPECT_NEAR(small.weight, 32.0, 0.5 + 1e-9);
+
+  g = make_grid_cube(2, 16);  // same address, different graph/uid
+  w.assign(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  // A stale 64-vertex order could never reach half of the 256-vertex
+  // graph's weight, so the window check discriminates.
+  const SplitResult big = half_split();
+  EXPECT_NEAR(big.weight, 128.0, 0.5 + 1e-9);
+}
+
 TEST(CheckSplitContract, DetectsViolations) {
   const Graph g = make_grid_cube(2, 4);
   const std::vector<double> w(16, 1.0);

@@ -8,6 +8,12 @@
 //     "ctx-warm" (a reused DecomposeContext, PR 2), and "ctx-threads2"
 //     (context with num_threads = 2 — bit-identical boundaries by the
 //     splitter contract, so its max_boundary_vs_seed must merge to 0);
+//   * the fast multilevel mode on the mid-size grids where per-split
+//     constants dominate: "cold" (decompose_fast from scratch, as the
+//     seed runs it), "fast-ctx-warm" (a reused FastContext: cached
+//     hierarchy + warm coarse context + persistent finest-level splitter,
+//     PR 3), and "fast-threads2" (FastContext with inner.num_threads = 2,
+//     again bit-identical by construction);
 //   * a min-max refinement microbench on random colorings, per engine.
 //
 // The same source compiles against the seed tree (which predates
@@ -37,6 +43,8 @@
 #define MMD_BENCH_HAS_CONTEXT 1
 #include "core/context.hpp"
 #endif
+#include "core/fast.hpp"  // seed and current both have the fast mode;
+                          // MMD_HAS_FAST_CONTEXT marks the warm path
 
 namespace {
 
@@ -128,6 +136,51 @@ void bench_decompose(const char* config, int side, int k) {
 #endif
 }
 
+/// The fast multilevel mode on the mid-size grids named by the ROADMAP
+/// ("n ~ 1k-16k sit at 2.7-4.2x"): per-split constants and rebuild costs
+/// dominate there, which is exactly what FastContext amortizes.
+/// coarse_target is lowered so every size genuinely coarsens.
+void bench_fast(const char* config, int side, int k) {
+  const Graph g = make_grid_cube(2, side);
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  FastOptions opt;
+  opt.inner.k = k;
+  opt.coarse_target = 512;
+  const int reps = reps_for(side);
+
+  Row cold{"fast_grid2d", config, side, g.num_vertices(), k,
+           "cold",        1e300,  0.0};
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const FastResult res = decompose_fast(g, w, opt);
+    cold.ms = std::min(cold.ms, t.seconds() * 1e3);
+    cold.max_boundary = res.max_boundary;
+  }
+  g_rows.push_back(cold);
+
+#ifdef MMD_HAS_FAST_CONTEXT
+  // The warm multilevel path: cached hierarchy, warm coarse context,
+  // persistent finest-level splitter — serial and 2-threaded.
+  for (const int threads : {1, 2}) {
+    FastOptions copt = opt;
+    copt.inner.num_threads = threads;
+    Row row{"fast_grid2d", config,
+            side,          g.num_vertices(),
+            k,             threads == 1 ? "fast-ctx-warm" : "fast-threads2",
+            1e300,         0.0};
+    FastContext ctx(g, copt);
+    for (int r = 0; r < reps + 1; ++r) {  // first call builds the caches
+      Timer t;
+      const FastResult res = ctx.decompose(w);
+      if (r == 0) continue;
+      row.ms = std::min(row.ms, t.seconds() * 1e3);
+      row.max_boundary = res.max_boundary;
+    }
+    g_rows.push_back(row);
+  }
+#endif
+}
+
 void bench_refine(const char* suite, int side, int k, const Coloring& base,
                   const MinmaxRefineOptions& base_opt) {
   const Graph g = make_grid_cube(2, side);
@@ -195,6 +248,7 @@ int main(int argc, char** argv) {
 
   for (const int side : {16, 32, 64, 128, 256}) bench_decompose("n-sweep", side, 16);
   for (const int k : {2, 8, 32, 128}) bench_decompose("k-sweep", 96, k);
+  for (const int side : {32, 64, 128}) bench_fast("n-sweep", side, 16);
   for (const int k : {16, 64}) bench_refine_random(128, k);
   for (const int k : {16, 64}) bench_refine_converged(192, k);
 
