@@ -17,7 +17,8 @@ DecomposeContext::~DecomposeContext() = default;
 void DecomposeContext::reconcile(const DecomposeOptions& options) {
   MMD_REQUIRE(options.num_threads >= 1, "num_threads must be >= 1");
   const bool splitter_stale =
-      splitter_ == nullptr || options.splitter != options_.splitter;
+      splitter_ == nullptr || options.splitter != options_.splitter ||
+      options.window_scan != options_.window_scan;
   // A borrowed external pool overrides the num_threads ownership logic:
   // the caller decides the pool's lifetime and lane count.
   const bool pool_stale =
@@ -33,7 +34,7 @@ void DecomposeContext::reconcile(const DecomposeOptions& options) {
     }
   }
   if (splitter_stale) {
-    splitter_ = make_default_splitter(*g_, options.splitter);
+    splitter_ = make_default_splitter(*g_, options);
     ++stats_.splitter_builds;
   }
   if (splitter_stale || pool_stale) splitter_->set_thread_pool(thread_pool());

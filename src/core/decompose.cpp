@@ -14,11 +14,13 @@
 
 namespace mmd {
 
-std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
-                                                 SplitterKind kind) {
+namespace {
+
+std::unique_ptr<ISplitter> build_splitter(const Graph& g, SplitterKind kind,
+                                          const PrefixSplitterOptions& prefix) {
   switch (kind) {
     case SplitterKind::Prefix:
-      return std::make_unique<PrefixSplitter>();
+      return std::make_unique<PrefixSplitter>(prefix);
     case SplitterKind::Grid:
       return std::make_unique<GridSplitter>();
     case SplitterKind::Auto:
@@ -28,10 +30,24 @@ std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
     // Keep Theorem 19's guarantee *and* the sweeps' practical quality.
     std::vector<std::unique_ptr<ISplitter>> children;
     children.push_back(std::make_unique<GridSplitter>());
-    children.push_back(std::make_unique<PrefixSplitter>());
+    children.push_back(std::make_unique<PrefixSplitter>(prefix));
     return std::make_unique<CompositeSplitter>(std::move(children));
   }
-  return std::make_unique<PrefixSplitter>();
+  return std::make_unique<PrefixSplitter>(prefix);
+}
+
+}  // namespace
+
+std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
+                                                 SplitterKind kind) {
+  return build_splitter(g, kind, PrefixSplitterOptions{});
+}
+
+std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
+                                                 const DecomposeOptions& options) {
+  PrefixSplitterOptions prefix;
+  prefix.window_scan = options.window_scan;
+  return build_splitter(g, options.splitter, prefix);
 }
 
 double default_sigma_p(const Graph& g, double p) {

@@ -63,6 +63,14 @@ struct DecomposeOptions {
   /// The overloads taking an external ISplitter& ignore this knob — wire a
   /// pool into the splitter yourself via ISplitter::set_thread_pool.
   int num_threads = 1;
+  /// Prefix-choice rule of the internally built PrefixSplitter (see
+  /// PrefixSplitterOptions::window_scan / SweepMode).  false (default)
+  /// keeps the seed's better-of-two rule bit-for-bit; true picks the
+  /// min-cost prefix anywhere inside the hard weight window of
+  /// Definition 3 — never costlier per candidate order, same worst-case
+  /// guarantees.  Ignored by the overloads taking an external ISplitter&
+  /// (configure the splitter yourself).
+  bool window_scan = false;
 
   // Ablation switches (benches E5/E7 study their effect).
   bool balance_boundary = true;  ///< Prop 7 phase 2 (Psi rebalance)
@@ -160,6 +168,12 @@ MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi
 /// The splitter decompose() would construct for this graph and options.
 std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
                                                  SplitterKind kind);
+
+/// Options-aware variant: forwards the candidate-evaluation knobs
+/// (currently window_scan) into the built splitter.  The kind-only
+/// overload above keeps the historical defaults.
+std::unique_ptr<ISplitter> make_default_splitter(const Graph& g,
+                                                 const DecomposeOptions& options);
 
 /// Default sigma_p used when options.sigma_p <= 0 (see DecomposeOptions).
 double default_sigma_p(const Graph& g, double p);

@@ -107,7 +107,7 @@ ISplitter& FastContext::fine_splitter() {
   // graph already — reuse its splitter instead of building a twin.
   if (levels_.empty()) return coarse_ctx_->splitter();
   if (fine_splitter_ == nullptr) {
-    fine_splitter_ = make_default_splitter(*g_, options_.inner.splitter);
+    fine_splitter_ = make_default_splitter(*g_, options_.inner);
     fine_splitter_->set_thread_pool(pool_.get());
     ++stats_.fine_splitter_builds;
   }

@@ -8,6 +8,15 @@
 // and every repeated decompose() call that reuses the workspace — runs
 // allocation-free in steady state.  Leases are RAII: the object returns to
 // the pool at scope exit, which matches the recursion's stack discipline.
+//
+// The split-evaluation scratch (SweepEval engines, evaluation slots,
+// ordering/radix buffers) deliberately lives inside the splitter and its
+// lanes rather than here: a splitter is already the unit that one
+// concurrent task owns exclusively (ISplitter::make_lane), so keeping its
+// scratch with it preserves the one-arena-per-task discipline the lane
+// workspaces below establish for the recursion's own buffers — and split()
+// stays allocation-free in steady state (pinned by the counting-allocator
+// test in tests/test_prefix_split_alloc.cpp) without any cross-wiring.
 #pragma once
 
 #include <cstdint>

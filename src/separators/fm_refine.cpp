@@ -19,13 +19,21 @@ int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
                     std::span<const double> weights, double target,
                     SplitResult& result, const FmOptions& options,
                     const Membership& in_w, Membership& in_u) {
+  // The stats pass below is the same accumulation sequence the presummed
+  // overload expects, so both entry points drive identical move windows.
+  return fm_refine_split(g, w_list, weights, target, result, options, in_w,
+                         in_u, subset_weight_stats(weights, w_list));
+}
+
+int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
+                    std::span<const double> weights, double target,
+                    SplitResult& result, const FmOptions& options,
+                    const Membership& in_w, Membership& in_u,
+                    const SubsetWeightStats& stats) {
   in_u.assign(result.inside);
 
-  double total = 0.0, wmax = 0.0;
-  for (Vertex v : w_list) {
-    total += weights[static_cast<std::size_t>(v)];
-    wmax = std::max(wmax, weights[static_cast<std::size_t>(v)]);
-  }
+  const double total = stats.total;
+  const double wmax = stats.max;
   const double t = std::clamp(target, 0.0, total);
   const double window = wmax / 2.0 + 1e-12 * std::max(1.0, total);
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "separators/splitter.hpp"
+#include "separators/sweep_eval.hpp"
 
 namespace mmd {
 
@@ -29,5 +30,14 @@ int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
                     std::span<const double> weights, double target,
                     SplitResult& result, const FmOptions& options,
                     const Membership& in_w, Membership& in_u);
+
+/// Presummed variant: `stats` must be subset_weight_stats of w_list (the
+/// splitters hoist it once per split), sparing the per-call w(W) /
+/// ||w|W||_inf pass that seeds the move window.
+int fm_refine_split(const Graph& g, std::span<const Vertex> w_list,
+                    std::span<const double> weights, double target,
+                    SplitResult& result, const FmOptions& options,
+                    const Membership& in_w, Membership& in_u,
+                    const SubsetWeightStats& stats);
 
 }  // namespace mmd

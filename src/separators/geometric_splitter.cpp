@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "separators/fm_refine.hpp"
-#include "separators/prefix_splitter.hpp"
+#include "separators/sweep_eval.hpp"
 #include "util/prng.hpp"
 
 namespace mmd {
@@ -54,17 +55,24 @@ SplitResult GeometricSplitter::split(const SplitRequest& request) {
   SplitResult best;
   bool have = false;
   Membership in_u(g.num_vertices());
+  const SubsetWeightStats stats =
+      subset_weight_stats(request.weights, request.w_list);
+  SweepEval sweep;
 
   auto consider_order = [&](const std::vector<Vertex>& order) {
-    const std::size_t len = best_prefix(order, request.weights, request.target);
-    const std::span<const Vertex> prefix(order.data(), len);
-    in_u.assign(prefix);
-    SplitResult cand;
-    cand.inside.assign(prefix.begin(), prefix.end());
-    cand.weight = set_measure(request.weights, prefix);
-    cand.boundary_cost = boundary_cost_within(g, prefix, in_u, in_w);
-    if (!have || cand.boundary_cost < best.boundary_cost) {
-      best = std::move(cand);
+    // Shared SweepEval evaluation: fused prefix choice + exact cost, with
+    // candidates pruned against the incumbent best.
+    const double bound = have ? best.boundary_cost
+                              : std::numeric_limits<double>::infinity();
+    const SweepEvalResult r =
+        sweep.eval(g, order, request.weights, request.target, stats, in_w,
+                   in_u, SweepMode::BetterOfTwo, bound);
+    if (r.pruned) return;
+    if (!have || r.cost < best.boundary_cost) {
+      best.inside.assign(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(r.prefix_len));
+      best.weight = r.weight;
+      best.boundary_cost = r.cost;
       have = true;
     }
   };
@@ -102,7 +110,8 @@ SplitResult GeometricSplitter::split(const SplitRequest& request) {
   MMD_ASSERT(have, "geometric splitter produced no candidate");
   if (options_.refine && !best.inside.empty() &&
       best.inside.size() < request.w_list.size()) {
-    fm_refine_split(g, request.w_list, request.weights, request.target, best);
+    fm_refine_split(g, request.w_list, request.weights, request.target, best,
+                    FmOptions{}, in_w, in_u, stats);
   }
   return best;
 }

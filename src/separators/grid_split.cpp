@@ -5,7 +5,7 @@
 #include <limits>
 #include <numeric>
 
-#include "separators/prefix_splitter.hpp"
+#include "separators/sweep_eval.hpp"
 
 namespace mmd {
 
@@ -101,7 +101,7 @@ class GridSplitRec {
     const auto l = std::min(
         extent, static_cast<std::int64_t>(std::max(
                     1.0, std::ceil(std::pow(cost1 / dim_, 1.0 / dim_)))));
-    if (l <= 1) return trivial(verts, target);
+    if (l <= 1) return trivial(verts, target, total);
 
     // Lemma 20: bucket each edge by the unique shift alpha in [1, l] whose
     // coarsening cuts it; the cheapest bucket has cost <= ||c||_1 / l.
@@ -272,16 +272,17 @@ class GridSplitRec {
 
  private:
   /// l == 1: lexicographic vertex order, better-of-two prefix (monotone by
-  /// Lemma 22).
-  std::vector<Vertex> trivial(const std::vector<Vertex>& verts,
-                              double target) const {
+  /// Lemma 22).  The level's total weight is already on hand from run()'s
+  /// fused pass, so the SweepEval prefix rule runs presummed.
+  std::vector<Vertex> trivial(const std::vector<Vertex>& verts, double target,
+                              double total) const {
     std::vector<Vertex> order;
     // Lazy: most splits never reach the trivial level.  bind() is
     // internally synchronized and the query takes the owning splitter's
     // radix scratch, so lanes sharing this cache stay race-free.
     cache_.bind(g_);
     cache_.subset_order(/*lexicographic=*/0, verts, nullptr, order, &radix_);
-    const std::size_t len = best_prefix(order, weights_, target);
+    const std::size_t len = best_prefix(order, weights_, target, total);
     order.resize(len);
     return order;
   }

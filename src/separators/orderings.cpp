@@ -4,8 +4,6 @@
 #include <atomic>
 #include <limits>
 
-#include "graph/connectivity.hpp"
-
 namespace mmd {
 
 namespace {
@@ -19,12 +17,14 @@ long ordering_cache_rebind_count() {
 std::vector<Vertex> pseudo_peripheral_bfs_order(const Graph& g,
                                                 std::span<const Vertex> w_list,
                                                 const Membership& in_w) {
-  if (w_list.empty()) return {};
-  // Double sweep: BFS from an arbitrary vertex, restart from the last
-  // vertex reached (a pseudo-peripheral vertex of its component).
-  const auto first = bfs_order(g, w_list, in_w, w_list.front());
-  MMD_ASSERT(first.size() == w_list.size(), "bfs must cover subset");
-  return bfs_order(g, w_list, in_w, first.back());
+  // Same double sweep as the scratch-reusing variant (one shared
+  // implementation): the first sweep lands in the same buffer the second
+  // overwrites, so no throwaway order is materialized.
+  (void)in_w;  // kept for signature compatibility; the scratch tags W itself
+  BfsScratch scratch;
+  std::vector<Vertex> out;
+  pseudo_peripheral_bfs_order_into(g, w_list, scratch, out);
+  return out;
 }
 
 namespace {
@@ -75,23 +75,23 @@ void pseudo_peripheral_bfs_order_into(const Graph& g,
   out.clear();
   if (w_list.empty()) return;
   scratch.state.resize(static_cast<std::size_t>(g.num_vertices()), 0);
-  // Fresh tags per sweep; skip 0 and wrap-reset so stale entries never
-  // collide with a live tag.
-  auto next_tag = [&] {
-    if (++scratch.tag == 0) {
-      std::fill(scratch.state.begin(), scratch.state.end(), 0u);
-      scratch.tag = 1;
-    }
-    return scratch.tag;
-  };
-  std::uint32_t tag = next_tag();
+  // The two sweeps are fused through the tag arithmetic: visiting under
+  // tag T stamps T - 1, which is exactly the second sweep's open tag — so
+  // W is tagged once per call, not once per sweep.  Two tags are consumed
+  // per call (skip past 0 and wrap-reset so stale stamps never collide
+  // with a live tag; after the first sweep stamps everything T - 1, the
+  // second stamps T - 2, both below any future tag until the wrap reset).
+  if (scratch.tag >= std::numeric_limits<std::uint32_t>::max() - 1) {
+    std::fill(scratch.state.begin(), scratch.state.end(), 0u);
+    scratch.tag = 0;
+  }
+  scratch.tag += 2;
+  const std::uint32_t tag = scratch.tag;
   for (Vertex v : w_list) scratch.state[static_cast<std::size_t>(v)] = tag;
   bfs_into(g, w_list, w_list.front(), tag, scratch, out);
   MMD_ASSERT(out.size() == w_list.size(), "bfs must cover subset");
   const Vertex peripheral = out.back();
-  tag = next_tag();
-  for (Vertex v : w_list) scratch.state[static_cast<std::size_t>(v)] = tag;
-  bfs_into(g, w_list, peripheral, tag, scratch, out);
+  bfs_into(g, w_list, peripheral, tag - 1, scratch, out);
 }
 
 namespace {

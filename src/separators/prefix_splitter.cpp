@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "separators/fm_refine.hpp"
 #include "separators/orderings.hpp"
@@ -9,35 +10,20 @@
 
 namespace mmd {
 
-std::size_t best_prefix(std::span<const Vertex> order,
-                        std::span<const double> weights, double target) {
-  double total = 0.0;
-  for (Vertex v : order) total += weights[static_cast<std::size_t>(v)];
-  target = std::clamp(target, 0.0, total);
-
-  double acc = 0.0;
-  std::size_t i = 0;
-  // Find the crossing prefix: acc <= target, acc + w_next > target.
-  while (i < order.size()) {
-    const double w = weights[static_cast<std::size_t>(order[i])];
-    if (acc + w > target) break;
-    acc += w;
-    ++i;
-  }
-  if (i == order.size()) return i;  // target == total
-  // Better of the two prefixes around the crossing:
-  const double w = weights[static_cast<std::size_t>(order[i])];
-  const double below = target - acc;      // error of prefix of length i
-  const double above = (acc + w) - target;  // error of prefix of length i+1
-  return below <= above ? i : i + 1;
-}
-
 SplitResult PrefixSplitter::split(const SplitRequest& request) {
   MMD_REQUIRE(request.g != nullptr, "null graph in split request");
   const Graph& g = *request.g;
   in_w_.ensure(g.num_vertices());
   in_u_.ensure(g.num_vertices());
   in_w_.assign(request.w_list);
+
+  // w(W) and ||w|W||_inf are invariant across every candidate order of
+  // this split: summed once here, consumed by every SweepEval evaluation
+  // and by the FM window below.
+  const SubsetWeightStats stats =
+      subset_weight_stats(request.weights, request.w_list);
+  const SweepMode mode =
+      options_.window_scan ? SweepMode::WindowMin : SweepMode::BetterOfTwo;
 
   // The candidate family — BFS, then the cached coordinate sweeps, then
   // Morton — is fixed up front so the serial loop and the parallel path
@@ -59,19 +45,24 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
 
   SplitResult best;
   if (thread_pool() != nullptr && candidates >= 2) {
-    best = split_parallel(request, num_sweeps, morton);
+    best = split_parallel(request, stats, num_sweeps, morton);
   } else {
     bool have_best = false;
     auto consider = [&](std::span<const Vertex> order) {
-      const std::size_t len =
-          best_prefix(order, request.weights, request.target);
-      const std::span<const Vertex> prefix(order.data(), len);
-      in_u_.assign(prefix);
-      const double cost = boundary_cost_within(g, prefix, in_u_, in_w_);
-      if (!have_best || cost < best.boundary_cost) {
-        best.inside.assign(prefix.begin(), prefix.end());
-        best.weight = set_measure(request.weights, prefix);
-        best.boundary_cost = cost;
+      // One fused scan per candidate; once an incumbent exists, a
+      // candidate whose partial cost already reaches it is abandoned
+      // (it could never win the strictly-cheaper comparison below).
+      const double bound = have_best ? best.boundary_cost
+                                     : std::numeric_limits<double>::infinity();
+      const SweepEvalResult r =
+          sweep_.eval(g, order, request.weights, request.target, stats, in_w_,
+                      in_u_, mode, bound);
+      if (r.pruned) return;
+      if (!have_best || r.cost < best.boundary_cost) {
+        best.inside.assign(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(r.prefix_len));
+        best.weight = r.weight;
+        best.boundary_cost = r.cost;
         have_best = true;
       }
     };
@@ -100,14 +91,17 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
     FmOptions fm;
     fm.max_passes = options_.fm_max_passes;
     fm_refine_split(g, request.w_list, request.weights, request.target, best,
-                    fm, in_w_, in_u_);
+                    fm, in_w_, in_u_, stats);
   }
   return best;
 }
 
 SplitResult PrefixSplitter::split_parallel(const SplitRequest& request,
+                                           const SubsetWeightStats& stats,
                                            int num_sweeps, bool morton) {
   const Graph& g = *request.g;
+  const SweepMode mode =
+      options_.window_scan ? SweepMode::WindowMin : SweepMode::BetterOfTwo;
   const int bfs = options_.use_bfs ? 1 : 0;
   const int count = bfs + num_sweeps + (morton ? 1 : 0);
   while (slots_.size() < static_cast<std::size_t>(count))
@@ -115,6 +109,10 @@ SplitResult PrefixSplitter::split_parallel(const SplitRequest& request,
 
   // Each candidate writes only its own slot; in_w_ and cache_ are shared
   // read-only (cache_ was bound before the fork, scratch is per slot).
+  // No incumbent exists across concurrent evaluations, so slots evaluate
+  // unpruned — the reduction below still matches the serial loop's winner
+  // because serial pruning only discards candidates with cost >= the
+  // incumbent, which the strictly-cheaper reduction rejects anyway.
   thread_pool()->run(count, [&](int i) {
     EvalSlot& slot = *slots_[static_cast<std::size_t>(i)];
     if (i < bfs) {
@@ -126,28 +124,26 @@ SplitResult PrefixSplitter::split_parallel(const SplitRequest& request,
     } else {
       cache_->subset_morton_order(request.w_list, slot.order, &slot.radix);
     }
-    slot.prefix_len =
-        best_prefix(slot.order, request.weights, request.target);
-    const std::span<const Vertex> prefix(slot.order.data(), slot.prefix_len);
     slot.in_u.ensure(g.num_vertices());
-    slot.in_u.assign(prefix);
-    slot.cost = boundary_cost_within(g, prefix, slot.in_u, in_w_);
+    slot.res = slot.sweep.eval(g, slot.order, request.weights, request.target,
+                               stats, in_w_, slot.in_u, mode);
   });
 
   // Serial reduction in candidate-index order: the first slot of strictly
   // minimal cost wins, exactly the serial loop's accept-if-strictly-less.
   int best_idx = 0;
   for (int i = 1; i < count; ++i)
-    if (slots_[static_cast<std::size_t>(i)]->cost <
-        slots_[static_cast<std::size_t>(best_idx)]->cost)
+    if (slots_[static_cast<std::size_t>(i)]->res.cost <
+        slots_[static_cast<std::size_t>(best_idx)]->res.cost)
       best_idx = i;
 
   const EvalSlot& winner = *slots_[static_cast<std::size_t>(best_idx)];
-  const std::span<const Vertex> prefix(winner.order.data(), winner.prefix_len);
   SplitResult best;
-  best.inside.assign(prefix.begin(), prefix.end());
-  best.weight = set_measure(request.weights, prefix);
-  best.boundary_cost = winner.cost;
+  best.inside.assign(
+      winner.order.begin(),
+      winner.order.begin() + static_cast<std::ptrdiff_t>(winner.res.prefix_len));
+  best.weight = winner.res.weight;
+  best.boundary_cost = winner.res.cost;
   return best;
 }
 

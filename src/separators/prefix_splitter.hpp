@@ -7,13 +7,19 @@
 // from a pseudo-peripheral vertex, lexicographic / per-axis / Morton when
 // coordinates exist), keeping the cheapest boundary, and optionally
 // improving it with Fiduccia–Mattheyses-style local moves that respect the
-// window (see fm_refine.hpp).
+// window (see fm_refine.hpp).  Candidate evaluation — order to prefix to
+// boundary cost — runs on the shared SweepEval engine (sweep_eval.hpp):
+// one fused scan per order, with dominated candidates pruned against the
+// incumbent best, and an opt-in window_scan mode that takes the cheapest
+// prefix anywhere inside the hard weight window instead of the crossing
+// prefix alone.
 #pragma once
 
 #include <memory>
 
 #include "separators/orderings.hpp"
 #include "separators/splitter.hpp"
+#include "separators/sweep_eval.hpp"
 
 namespace mmd {
 
@@ -25,6 +31,11 @@ struct PrefixSplitterOptions {
   int max_sweeps = 0;
   bool refine = true;                 ///< FM local refinement pass
   int fm_max_passes = 3;
+  /// Prefix-choice rule (see SweepMode): false keeps the seed's
+  /// better-of-two rule bit-for-bit; true picks the min-cost prefix inside
+  /// the hard weight window of Definition 3 (never costlier than the
+  /// better-of-two prefix of the same order, ties to the seed choice).
+  bool window_scan = false;
 };
 
 class PrefixSplitter final : public ISplitter {
@@ -37,9 +48,9 @@ class PrefixSplitter final : public ISplitter {
 
   /// A lane shares the immutable OrderingCache (the O(n log n) per-graph
   /// global orders are computed once, by whoever binds first) and owns its
-  /// memberships, BFS/radix scratch, and evaluation slots — so a lane and
-  /// its parent may run concurrent split() calls on the same graph with
-  /// bit-identical results.
+  /// memberships, BFS/radix/sweep-eval scratch, and evaluation slots — so
+  /// a lane and its parent may run concurrent split() calls on the same
+  /// graph with bit-identical results.
   std::unique_ptr<ISplitter> make_lane() override {
     return std::unique_ptr<ISplitter>(new PrefixSplitter(options_, cache_));
   }
@@ -57,16 +68,20 @@ class PrefixSplitter final : public ISplitter {
     Membership in_u;
     BfsScratch bfs;
     OrderingScratch radix;
-    std::size_t prefix_len = 0;
-    double cost = 0.0;
+    SweepEval sweep;
+    SweepEvalResult res;
   };
 
   /// With a pool, the candidate orders of one split (BFS + coordinate
   /// sweeps + Morton) are generated and costed concurrently, one
   /// index-addressed evaluation slot per candidate, and reduced in
   /// candidate-index order — bit-identical to the serial loop, which keeps
-  /// the first candidate of strictly minimal boundary cost.
-  SplitResult split_parallel(const SplitRequest& request, int num_sweeps,
+  /// the first candidate of strictly minimal boundary cost.  (The serial
+  /// loop additionally prunes candidates against the incumbent best; a
+  /// pruned candidate's exact cost is provably >= the incumbent, so the
+  /// reduction picks the same winner either way.)
+  SplitResult split_parallel(const SplitRequest& request,
+                             const SubsetWeightStats& stats, int num_sweeps,
                              bool morton);
 
   PrefixSplitterOptions options_;
@@ -81,14 +96,9 @@ class PrefixSplitter final : public ISplitter {
   Membership in_w_, in_u_;
   BfsScratch bfs_;
   OrderingScratch radix_;
+  SweepEval sweep_;
   std::vector<Vertex> order_;
   std::vector<std::unique_ptr<EvalSlot>> slots_;
 };
-
-/// Split a single ordering by the better-of-two-prefixes rule; exposed for
-/// tests and for GridSplit's trivial level.
-/// Returns the number of vertices in the chosen prefix.
-std::size_t best_prefix(std::span<const Vertex> order,
-                        std::span<const double> weights, double target);
 
 }  // namespace mmd

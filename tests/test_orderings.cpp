@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "gen/grid.hpp"
+#include "graph/connectivity.hpp"
 #include "separators/orderings.hpp"
 #include "test_helpers.hpp"
 
@@ -76,6 +78,39 @@ TEST_F(OrderingTest, MortonFirstIsOrigin) {
   const auto order = morton_order(g_, vs_);
   EXPECT_EQ(g_.coords(order.front())[0], 0);
   EXPECT_EQ(g_.coords(order.front())[1], 0);
+}
+
+TEST_F(OrderingTest, FusedDoubleSweepMatchesTwoPassReference) {
+  // The fused scratch variant (one subset tagging for both sweeps) must
+  // reproduce the classic double sweep exactly: BFS from the front, then
+  // BFS from the last vertex reached.
+  Membership in_w(g_.num_vertices());
+  in_w.assign(vs_);
+  const auto first = bfs_order(g_, vs_, in_w, vs_.front());
+  const auto reference = bfs_order(g_, vs_, in_w, first.back());
+
+  BfsScratch scratch;
+  std::vector<Vertex> out;
+  // Repeated calls reuse the scratch tags; every round must match.
+  for (int round = 0; round < 3; ++round) {
+    pseudo_peripheral_bfs_order_into(g_, vs_, scratch, out);
+    EXPECT_EQ(out, reference) << "round " << round;
+  }
+  EXPECT_EQ(pseudo_peripheral_bfs_order(g_, vs_, in_w), reference);
+}
+
+TEST_F(OrderingTest, FusedDoubleSweepSurvivesTagWraparound) {
+  Membership in_w(g_.num_vertices());
+  in_w.assign(vs_);
+  const auto reference = pseudo_peripheral_bfs_order(g_, vs_, in_w);
+  BfsScratch scratch;
+  std::vector<Vertex> out;
+  // Park the tag counter just below the wrap threshold and cross it.
+  scratch.tag = std::numeric_limits<std::uint32_t>::max() - 4;
+  for (int round = 0; round < 6; ++round) {
+    pseudo_peripheral_bfs_order_into(g_, vs_, scratch, out);
+    EXPECT_EQ(out, reference) << "round " << round;
+  }
 }
 
 TEST(OrderingEdge, CoordinateOrdersRequireCoords) {

@@ -5,9 +5,17 @@
 //     (k = 16) and growing k (side 96), in the modes the library has
 //     grown so far: "cold" (a fresh splitter per call, the seed's only
 //     mode), "warm" (persistent splitter + DecomposeWorkspace, PR 1),
-//     "ctx-warm" (a reused DecomposeContext, PR 2), and "ctx-threads2"
+//     "ctx-warm" (a reused DecomposeContext, PR 2), "ctx-threads2"
 //     (context with num_threads = 2 — bit-identical boundaries by the
-//     splitter contract, so its max_boundary_vs_seed must merge to 0);
+//     splitter contract, so its max_boundary_vs_seed must merge to 0),
+//     "eval-incremental" (PR 4: the SweepEval engine in its default
+//     better-of-two mode — the same rows as ctx-warm, named so the
+//     candidate-evaluation rework is directly attributable), and
+//     "eval-window" (PR 4: window_scan mode, cheapest prefix inside the
+//     hard weight window — max_boundary_vs_seed <= 0 expected everywhere).
+//     Besides the unit-weight n/k sweeps, a few heavy-tailed weighted
+//     grids (w-sweep-h*) exercise the wide-window regime where the
+//     window rule actually has candidates to choose from;
 //   * the fast multilevel mode on the mid-size grids where per-split
 //     constants dominate: "cold" (decompose_fast from scratch, as the
 //     seed runs it), "fast-ctx-warm" (a reused FastContext: cached
@@ -55,6 +63,20 @@ struct HasEngine : std::false_type {};
 template <typename T>
 struct HasEngine<T, std::void_t<decltype(T::engine)>> : std::true_type {};
 
+// Detect DecomposeOptions::window_scan (PR 4's SweepEval modes) so one
+// runner source still compiles against older trees.
+template <typename T, typename = void>
+struct HasWindowScan : std::false_type {};
+template <typename T>
+struct HasWindowScan<T, std::void_t<decltype(T::window_scan)>> : std::true_type {};
+
+template <typename Opt>
+auto set_window_scan(Opt& o, bool on, int) -> decltype((void)o.window_scan) {
+  o.window_scan = on;
+}
+template <typename Opt>
+void set_window_scan(Opt&, bool, long) {}
+
 // Set the refinement engine when the library has one (overload ranking:
 // the int overload wins when `o.engine` is well-formed).
 template <typename Opt>
@@ -77,9 +99,30 @@ std::vector<Row> g_rows;
 
 int reps_for(int side) { return side >= 256 ? 7 : 9; }
 
-void bench_decompose(const char* config, int side, int k) {
+/// Deterministic heavy-tailed vertex weights (LCG; ~1/8 of the vertices
+/// carry weight `heavy`, the rest 1.0).  Inline so the seed binary and
+/// the current binary bench the exact same instance: a wide hard window
+/// (||w||_inf/2 = heavy/2) is where the window_scan prefix rule has room
+/// to act, unlike the unit-weight sweeps whose window admits at most the
+/// two crossing prefixes.
+std::vector<double> heavy_weights(int n, double heavy, std::uint64_t seed) {
+  std::vector<double> w(static_cast<std::size_t>(n), 1.0);
+  std::uint64_t x = seed;
+  for (int i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    if ((x >> 33) % 8 == 0) w[static_cast<std::size_t>(i)] = heavy;
+  }
+  return w;
+}
+
+/// `heavy` <= 0 benches the classic unit-weight instance.
+void bench_decompose(const char* config, int side, int k, double heavy = 0.0) {
   const Graph g = make_grid_cube(2, side);
-  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  const std::vector<double> w =
+      heavy > 0.0
+          ? heavy_weights(g.num_vertices(), heavy,
+                          42ull + static_cast<std::uint64_t>(side + k))
+          : std::vector<double>(static_cast<std::size_t>(g.num_vertices()), 1.0);
   DecomposeOptions opt;
   opt.k = k;
   const int reps = reps_for(side);
@@ -132,6 +175,29 @@ void bench_decompose(const char* config, int side, int k) {
       row.max_boundary = res.max_boundary;
     }
     g_rows.push_back(row);
+  }
+
+  // PR 4's SweepEval modes on the warm context path: the default
+  // better-of-two rule (must merge to max_boundary_vs_seed = 0) and the
+  // window_scan rule (cheapest in-window prefix; <= 0 everywhere).
+  if constexpr (HasWindowScan<DecomposeOptions>::value) {
+    for (const bool window : {false, true}) {
+      DecomposeOptions copt = opt;
+      set_window_scan(copt, window, 0);
+      Row row{"decompose_grid2d", config,
+              side,              g.num_vertices(),
+              k,                 window ? "eval-window" : "eval-incremental",
+              1e300,             0.0};
+      DecomposeContext ctx(g, copt);
+      for (int r = 0; r < reps + 1; ++r) {
+        Timer t;
+        const DecomposeResult res = ctx.decompose(w);
+        if (r == 0) continue;
+        row.ms = std::min(row.ms, t.seconds() * 1e3);
+        row.max_boundary = res.max_boundary;
+      }
+      g_rows.push_back(row);
+    }
   }
 #endif
 }
@@ -248,6 +314,11 @@ int main(int argc, char** argv) {
 
   for (const int side : {16, 32, 64, 128, 256}) bench_decompose("n-sweep", side, 16);
   for (const int k : {2, 8, 32, 128}) bench_decompose("k-sweep", 96, k);
+  // Heavy-tailed weights widen the hard window (||w||_inf/2), giving the
+  // eval-window rule room to pick cheaper cuts than the crossing prefix.
+  bench_decompose("w-sweep-h8", 48, 16, 8.0);
+  bench_decompose("w-sweep-h4", 64, 8, 4.0);
+  bench_decompose("w-sweep-h4", 96, 32, 4.0);
   for (const int side : {32, 64, 128}) bench_fast("n-sweep", side, 16);
   for (const int k : {16, 64}) bench_refine_random(128, k);
   for (const int k : {16, 64}) bench_refine_converged(192, k);

@@ -36,7 +36,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s -k <parts> [-p <norm>] [-o <out>] [--fast]\n"
                "       [--splitter auto|prefix|grid] [--init best|paper|bisection]\n"
-               "       [--image <ppm>]\n"
+               "       [--window-scan] [--image <ppm>]\n"
                "       [--compare] [--quiet] [--verify] <input.graph>\n",
                argv0);
   std::exit(2);
@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   double p = 2.0;
   std::string input, output, image;
   bool fast = false, compare = false, quiet = false, verify = false;
+  bool window_scan = false;
   SplitterKind splitter = SplitterKind::Auto;
   InitMethod init = InitMethod::Best;  // the tool defaults to best-of
 
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--window-scan") {
+      window_scan = true;  // min-cost in-window prefixes (SweepMode)
     } else if (arg == "--splitter") {
       const std::string name = next();
       if (name == "auto") splitter = SplitterKind::Auto;
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
       opt.inner.p = p;
       opt.inner.splitter = splitter;
       opt.inner.init = init;
+      opt.inner.window_scan = window_scan;
       FastResult res = decompose_fast(g, in.weights, opt);
       chi = std::move(res.coloring);
       balance = res.balance;
@@ -121,6 +125,7 @@ int main(int argc, char** argv) {
       opt.p = p;
       opt.splitter = splitter;
       opt.init = init;
+      opt.window_scan = window_scan;
       DecomposeResult res = decompose(g, in.weights, opt);
       chi = std::move(res.coloring);
       balance = res.balance;
