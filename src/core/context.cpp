@@ -16,6 +16,7 @@ DecomposeContext::~DecomposeContext() = default;
 
 void DecomposeContext::reconcile(const DecomposeOptions& options) {
   MMD_REQUIRE(options.num_threads >= 1, "num_threads must be >= 1");
+  MMD_REQUIRE(options.fork_depth >= 0, "fork_depth must be >= 0");
   const bool splitter_stale =
       splitter_ == nullptr || options.splitter != options_.splitter ||
       options.window_scan != options_.window_scan;
@@ -38,6 +39,10 @@ void DecomposeContext::reconcile(const DecomposeOptions& options) {
     ++stats_.splitter_builds;
   }
   if (splitter_stale || pool_stale) splitter_->set_thread_pool(thread_pool());
+  // Pure scheduling state: changing the lane-tree depth invalidates
+  // nothing (results are bit-identical for every value), so it is simply
+  // re-stamped on the splitter on every reconcile.
+  splitter_->set_fork_depth(options.fork_depth);
   options_ = options;
 }
 

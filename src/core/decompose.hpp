@@ -63,6 +63,17 @@ struct DecomposeOptions {
   /// The overloads taking an external ISplitter& ignore this knob — wire a
   /// pool into the splitter yourself via ISplitter::set_thread_pool.
   int num_threads = 1;
+  /// Depth of multi_split's fork-join lane tree: the top fork_depth levels
+  /// of the Lemma 8 recursion run as parallel batches over 2^fork_depth
+  /// splitter lanes.  0 (default) derives the depth from the pool — the
+  /// smallest tree with at least num_threads leaves, so 4/8 lanes on 4/8
+  /// threads; explicit values are clamped to the recursion height and to
+  /// a hard depth cap of 6 (64 lanes).  Only
+  /// effective with a pool (num_threads > 1); results are bit-identical
+  /// for every value (index-addressed lanes, index-order reduction).  Like
+  /// num_threads, ignored by the overloads taking an external ISplitter&
+  /// (call ISplitter::set_fork_depth yourself).
+  int fork_depth = 0;
   /// Prefix-choice rule of the internally built PrefixSplitter (see
   /// PrefixSplitterOptions::window_scan / SweepMode).  false (default)
   /// keeps the seed's better-of-two rule bit-for-bit; true picks the
@@ -117,7 +128,7 @@ struct DecomposeResult {
 ///                 options.num_threads has no effect here — wire a pool
 ///                 into `splitter` yourself via ISplitter::set_thread_pool
 ///                 and every pool-aware phase (splitter candidates,
-///                 composite children, multi_split's fork-join halves)
+///                 composite children, multi_split's lane tree)
 ///                 picks it up from the splitter
 /// \param splitter splitting-set engine; its scratch stays warm across
 ///                 calls, which is the main reason to own one

@@ -19,6 +19,7 @@ FastContext::~FastContext() = default;
 void FastContext::reconcile(const FastOptions& options) {
   MMD_REQUIRE(options.inner.k >= 1, "k must be >= 1");
   MMD_REQUIRE(options.inner.num_threads >= 1, "num_threads must be >= 1");
+  MMD_REQUIRE(options.inner.fork_depth >= 0, "fork_depth must be >= 0");
   // The hierarchy depends only on edge costs and the coarsening
   // parameters, the pool only on the thread count, the finest-level
   // splitter only on the splitter kind; everything else (k, tolerances,
@@ -111,6 +112,7 @@ ISplitter& FastContext::fine_splitter() {
     fine_splitter_->set_thread_pool(pool_.get());
     ++stats_.fine_splitter_builds;
   }
+  fine_splitter_->set_fork_depth(options_.inner.fork_depth);
   return *fine_splitter_;
 }
 

@@ -1,5 +1,9 @@
 #include "core/multi_split.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "graph/subgraph.hpp"
 #include "util/thread_pool.hpp"
 
@@ -7,6 +11,34 @@ namespace mmd {
 
 namespace {
 
+/// Direct sum of a node's two half-colorings under a split of boundary
+/// cost `split_cost` — the merge step shared by the serial recursion and
+/// the lane tree's bottom-up pass.  Each half is relabeled so that side b
+/// keeps at most half of U_b's mass of the level measure (inequality
+/// (5)); conditions (3)/(4) are symmetric in the colors, so the swap is
+/// free.
+TwoColoring merge_halves(double split_cost, TwoColoring&& h0, TwoColoring&& h1,
+                         MeasureRef last) {
+  TwoColoring out;
+  out.cut_cost = split_cost + h0.cut_cost + h1.cut_cost;
+  TwoColoring* half[2] = {&h0, &h1};
+  for (int b = 0; b < 2; ++b) {
+    const double own = set_measure(last, half[b]->side[b]);
+    const double other = set_measure(last, half[b]->side[1 - b]);
+    if (own > other) std::swap(half[b]->side[0], half[b]->side[1]);
+  }
+  for (int side = 0; side < 2; ++side) {
+    out.side[side] = std::move(half[0]->side[side]);
+    out.side[side].insert(out.side[side].end(), half[1]->side[side].begin(),
+                          half[1]->side[side].end());
+  }
+  return out;
+}
+
+/// The serial Lemma 8 recursion.  Also the body of every lane-tree leaf
+/// task: inside a pooled task the splitter's own pool use degrades to the
+/// inline loop (ThreadPool nested-run contract), so the recursion below a
+/// leaf stays serial on its thread.
 TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
                             std::span<const MeasureRef> measures,
                             ISplitter& splitter, DecomposeWorkspace& ws) {
@@ -22,11 +54,11 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
   req.target = set_measure(last, w_list) / 2.0;
   SplitResult u1 = splitter.split(req);
 
-  TwoColoring out;
-  out.cut_cost = u1.boundary_cost;
   if (r == 1) {
     // Leaf level: the complement escapes as a color class, so it owns its
     // storage.
+    TwoColoring out;
+    out.cut_cost = u1.boundary_cost;
     std::vector<Vertex> u2;
     {
       const auto in_u1 = ws.membership(g.num_vertices());
@@ -48,54 +80,139 @@ TwoColoring multi_split_rec(const Graph& g, std::span<const Vertex> w_list,
     set_difference_into(w_list, *in_u1, *u2);
   }
 
-  // Recurse on both halves with the remaining measures.  The halves are
-  // independent sub-instances, so with a pool (reached through the
-  // splitter, which received it via set_thread_pool) they run as a
-  // deterministic fork-join pair: task i computes only half[i], using
-  // splitter lane i (scratch-private replica sharing the immutable
-  // OrderingCache) and lane workspace i, and the merge below runs on the
-  // calling thread in index order — each half is a pure function of its
-  // inputs, so the output is bit-identical to the serial recursion.
-  // Nested levels fork only once: inside a pooled task run() executes
-  // inline, so the lanes' own recursions stay serial on their thread.
   const std::span<const MeasureRef> rest = measures.first(r - 1);
-  TwoColoring half[2];
-  ThreadPool* pool = splitter.thread_pool();
-  ISplitter* lanes[2] = {nullptr, nullptr};
-  if (pool != nullptr && pool->num_threads() > 1 &&
-      !ThreadPool::on_worker_thread()) {
-    lanes[0] = splitter.lane(0);
-    lanes[1] = splitter.lane(1);
+  TwoColoring h0 = multi_split_rec(g, u1.inside, rest, splitter, ws);
+  TwoColoring h1 = multi_split_rec(g, *u2, rest, splitter, ws);
+  return merge_halves(u1.boundary_cost, std::move(h0), std::move(h1), last);
+}
+
+/// Cap on the lane-tree depth (2^6 = 64 leaf lanes): deeper trees cannot
+/// pay for their replica scratch on any plausible pool size.
+constexpr int kMaxForkDepth = 6;
+
+/// Fork depth actually used.  `configured` <= 0 derives the depth from
+/// the pool — the smallest tree with at least one leaf lane per pool
+/// thread, so 4/8 lanes on 4/8 threads; both cases are clamped to the
+/// recursion height (r - 1 forkable levels) and kMaxForkDepth.
+int resolve_fork_depth(int configured, int pool_threads, std::size_t r) {
+  const int cap = std::min(static_cast<int>(r) - 1, kMaxForkDepth);
+  if (cap <= 0) return 0;
+  if (configured > 0) return std::min(configured, cap);
+  int depth = 0;
+  while ((1 << depth) < pool_threads && depth < cap) ++depth;
+  return depth;
+}
+
+/// Level-synchronous lane-tree driver: the recursion's top `depth` levels
+/// expand breadth-first, one deterministic fork-join batch per level,
+/// then the 2^depth leaf subtrees recurse serially in parallel, and the
+/// results merge bottom-up on the orchestration thread in index order.
+///
+/// Tree position is the whole addressing story.  Node (l, j) — id
+/// (1 << l) - 1 + j in heap order — is split by splitter lane j on lane
+/// workspace j; its children's vertex lists land in tree-arena slots
+/// 2*id + 1 / 2*id + 2.  Within one batch the concurrent tasks hold
+/// distinct j, so no lane, workspace, or slot is ever shared, and the
+/// batches themselves are sequential.  Every per-node value is a pure
+/// function of the node's input list (lanes are bit-identical replicas of
+/// the parent splitter by the ISplitter contract) and the merge ignores
+/// arrival order — so the output is bit-identical to the serial recursion
+/// for any thread count and any depth.
+TwoColoring multi_split_tree(const Graph& g, std::span<const Vertex> w_list,
+                             std::span<const MeasureRef> measures,
+                             ISplitter& splitter, DecomposeWorkspace& ws,
+                             ThreadPool& pool, int depth) {
+  const std::size_t r = measures.size();
+  const int leaves = 1 << depth;
+  const int num_nodes = 2 * leaves - 1;
+
+  // Materialize every lane, lane workspace, and tree-arena slot up front:
+  // creation mutates parent-owned tables, which must never happen
+  // concurrently (the caller already ensured lane support).  The driver's
+  // own bookkeeping persists in the workspace too, so a warm forked call
+  // allocates nothing here.
+  MultiSplitTreeScratch& ts = ws.tree_scratch();
+  ts.lanes.assign(static_cast<std::size_t>(leaves), nullptr);
+  ts.lane_ws.assign(static_cast<std::size_t>(leaves), nullptr);
+  std::vector<ISplitter*>& lanes = ts.lanes;
+  std::vector<DecomposeWorkspace*>& lane_ws = ts.lane_ws;
+  for (int j = 0; j < leaves; ++j) {
+    lanes[static_cast<std::size_t>(j)] = splitter.lane(j);
+    MMD_ASSERT(lanes[static_cast<std::size_t>(j)] != nullptr,
+               "ensured lane disappeared");
+    lane_ws[static_cast<std::size_t>(j)] = &ws.lane_workspace(j);
   }
-  if (lanes[0] != nullptr && lanes[1] != nullptr) {
-    // Materialize both lane workspaces before the fork: creation mutates
-    // the parent workspace, which must never happen concurrently.
-    DecomposeWorkspace* lane_ws[2] = {&ws.lane_workspace(0),
-                                      &ws.lane_workspace(1)};
-    const std::span<const Vertex> part[2] = {u1.inside, *u2};
-    pool->run(2, [&](int i) {
-      half[i] = multi_split_rec(g, part[i], rest, *lanes[i], *lane_ws[i]);
+  ts.lists.assign(static_cast<std::size_t>(num_nodes), nullptr);
+  std::vector<std::vector<Vertex>*>& lists = ts.lists;
+  for (int id = 1; id < num_nodes; ++id)
+    lists[static_cast<std::size_t>(id)] =
+        &ws.tree_list(static_cast<std::size_t>(id - 1));
+  const auto node_span = [&](int id) -> std::span<const Vertex> {
+    // The root keeps the caller's list; every other node owns a slot.
+    return id == 0 ? w_list : std::span<const Vertex>(
+                                  *lists[static_cast<std::size_t>(id)]);
+  };
+
+  // Breadth-first expansion: level l's 2^l splits run as one fork-join
+  // batch (level 0 is a single task, which ThreadPool runs inline on this
+  // thread — so the top split keeps its intra-split candidate
+  // parallelism; deeper levels trade that for split-level parallelism).
+  ts.split_cost.assign(static_cast<std::size_t>(leaves - 1), 0.0);
+  std::vector<double>& split_cost = ts.split_cost;
+  for (int l = 0; l < depth; ++l) {
+    const int count = 1 << l;
+    const MeasureRef level_measure = measures[r - 1 - static_cast<std::size_t>(l)];
+    pool.run(count, [&](int j) {
+      const int id = count - 1 + j;
+      const std::span<const Vertex> node = node_span(id);
+      SplitRequest req;
+      req.g = &g;
+      req.w_list = node;
+      req.weights = level_measure;
+      req.target = set_measure(level_measure, node) / 2.0;
+      SplitResult u1 = lanes[static_cast<std::size_t>(j)]->split(req);
+      split_cost[static_cast<std::size_t>(id)] = u1.boundary_cost;
+      {
+        const auto in_u1 =
+            lane_ws[static_cast<std::size_t>(j)]->membership(g.num_vertices());
+        in_u1->assign(u1.inside);
+        set_difference_into(node, *in_u1,
+                            *lists[static_cast<std::size_t>(2 * id + 2)]);
+      }
+      *lists[static_cast<std::size_t>(2 * id + 1)] = std::move(u1.inside);
     });
-  } else {
-    half[0] = multi_split_rec(g, u1.inside, rest, splitter, ws);
-    half[1] = multi_split_rec(g, *u2, rest, splitter, ws);
-  }
-  out.cut_cost += half[0].cut_cost + half[1].cut_cost;
-
-  // Relabel each half so that side b keeps at most half of U_b's mass of
-  // the last measure (inequality (5)); conditions (3)/(4) are symmetric in
-  // the colors, so the swap is free.
-  for (int b = 0; b < 2; ++b) {
-    const double own = set_measure(last, half[b].side[b]);
-    const double other = set_measure(last, half[b].side[1 - b]);
-    if (own > other) std::swap(half[b].side[0], half[b].side[1]);
   }
 
-  for (int side = 0; side < 2; ++side) {
-    out.side[side] = std::move(half[0].side[side]);
-    out.side[side].insert(out.side[side].end(), half[1].side[side].begin(),
-                          half[1].side[side].end());
+  // Leaf subtrees: one serial recursion per lane.  The persistent result
+  // slots are moved-from husks after the previous call, so resize keeps
+  // capacity and allocates nothing when warm.
+  const std::span<const MeasureRef> rest =
+      measures.first(r - static_cast<std::size_t>(depth));
+  ts.res.resize(static_cast<std::size_t>(leaves));
+  std::vector<TwoColoring>& res = ts.res;
+  pool.run(leaves, [&](int j) {
+    res[static_cast<std::size_t>(j)] =
+        multi_split_rec(g, node_span(leaves - 1 + j), rest,
+                        *lanes[static_cast<std::size_t>(j)],
+                        *lane_ws[static_cast<std::size_t>(j)]);
+  });
+
+  // Bottom-up merge in index order on the calling thread — the same
+  // direct sums the serial recursion applies in post-order.
+  for (int l = depth - 1; l >= 0; --l) {
+    const int count = 1 << l;
+    const MeasureRef last = measures[r - 1 - static_cast<std::size_t>(l)];
+    for (int j = 0; j < count; ++j) {
+      const int id = count - 1 + j;
+      res[static_cast<std::size_t>(j)] =
+          merge_halves(split_cost[static_cast<std::size_t>(id)],
+                       std::move(res[static_cast<std::size_t>(2 * j)]),
+                       std::move(res[static_cast<std::size_t>(2 * j + 1)]),
+                       last);
+    }
   }
+  TwoColoring out = std::move(res[0]);
+  res[0] = TwoColoring{};  // leave a clean husk, not a moved-from state
   return out;
 }
 
@@ -110,7 +227,22 @@ TwoColoring multi_split(const Graph& g, std::span<const Vertex> w_list,
                 "measure arity mismatch");
   if (w_list.empty()) return {};
   DecomposeWorkspace local;
-  return multi_split_rec(g, w_list, measures, splitter, ws ? *ws : local);
+  DecomposeWorkspace& wsr = ws ? *ws : local;
+
+  // Fork the lane tree only from the orchestration thread (a nested
+  // multi_split inside a pooled task stays serial on its lane) and only
+  // when the splitter actually supports lanes — ensure_lanes logs the
+  // unsupported case once instead of silently serializing.
+  ThreadPool* pool = splitter.thread_pool();
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      !ThreadPool::on_worker_thread()) {
+    const int depth = resolve_fork_depth(splitter.fork_depth(),
+                                         pool->num_threads(), measures.size());
+    if (depth >= 1 && splitter.ensure_lanes(1 << depth))
+      return multi_split_tree(g, w_list, measures, splitter, wsr, *pool,
+                              depth);
+  }
+  return multi_split_rec(g, w_list, measures, splitter, wsr);
 }
 
 }  // namespace mmd

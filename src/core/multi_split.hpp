@@ -29,9 +29,35 @@ struct TwoColoring {
   double cut_cost = 0.0;  ///< total cost of splitter cuts applied within W
 };
 
+/// Bookkeeping arrays of multi_split's lane-tree driver, owned by
+/// DecomposeWorkspace (tree_scratch()) so a warm forked call performs no
+/// driver-side allocation: pointer tables for the materialized lanes /
+/// lane workspaces / tree-arena slots, per-node split costs, and the
+/// per-leaf subtree results (whose buffers get moved into the output, so
+/// only their empty husks persist).  All sizing/filling happens on the
+/// orchestration thread; pooled tasks write only their own indices.
+struct MultiSplitTreeScratch {
+  std::vector<ISplitter*> lanes;
+  std::vector<DecomposeWorkspace*> lane_ws;
+  std::vector<std::vector<Vertex>*> lists;
+  std::vector<double> split_cost;
+  std::vector<TwoColoring> res;
+};
+
 /// Lemma 8.  measures must be non-empty; measures[0] is Phi(1) (the
 /// primary measure with the strongest guarantee).  `ws` (optional) lends
 /// the recursion its membership scratch.
+///
+/// Parallelism: when a thread pool is reachable through the splitter
+/// (ISplitter::set_thread_pool) and the splitter supports lanes, the top
+/// `fork_depth` recursion levels run as a lane tree — each level one
+/// deterministic fork-join batch of per-lane splitter replicas, the
+/// 2^fork_depth leaf subtrees recursing in parallel — with lane indices
+/// assigned by tree position, so the result is bit-identical to the
+/// serial recursion for any thread count and depth.  The depth comes from
+/// ISplitter::fork_depth() (<= 0 derives it from the pool size) clamped
+/// to the recursion height; DecomposeOptions::fork_depth plumbs it here
+/// through DecomposeContext.
 TwoColoring multi_split(const Graph& g, std::span<const Vertex> w_list,
                         std::span<const MeasureRef> measures,
                         ISplitter& splitter, DecomposeWorkspace* ws = nullptr);

@@ -1,0 +1,18 @@
+#include "core/workspace.hpp"
+
+#include "core/multi_split.hpp"
+
+namespace mmd {
+
+// Out-of-line: MultiSplitTreeScratch (multi_split.hpp) is incomplete in
+// the workspace header, which only stores it behind a unique_ptr.
+DecomposeWorkspace::DecomposeWorkspace() = default;
+DecomposeWorkspace::~DecomposeWorkspace() = default;
+
+MultiSplitTreeScratch& DecomposeWorkspace::tree_scratch() {
+  if (tree_scratch_ == nullptr)
+    tree_scratch_ = std::make_unique<MultiSplitTreeScratch>();
+  return *tree_scratch_;
+}
+
+}  // namespace mmd

@@ -28,6 +28,8 @@
 
 namespace mmd {
 
+struct MultiSplitTreeScratch;  // multi_split.hpp; owned via tree_scratch()
+
 /// Scratch state of the min-max refinement engines (refine.hpp).  All
 /// buffers grow monotonically; repeated refinement of instances of the
 /// same size performs no heap allocation after the first call.
@@ -48,7 +50,10 @@ struct RefineWorkspace {
 
 class DecomposeWorkspace {
  public:
-  DecomposeWorkspace() = default;
+  // Both out-of-line (workspace.cpp): tree_scratch_ points to a type
+  // that is incomplete here.
+  DecomposeWorkspace();
+  ~DecomposeWorkspace();
   // Non-copyable: leases hold stable pointers into the pool.
   DecomposeWorkspace(const DecomposeWorkspace&) = delete;
   DecomposeWorkspace& operator=(const DecomposeWorkspace&) = delete;
@@ -94,17 +99,40 @@ class DecomposeWorkspace {
   /// Lease a cleared vertex-list buffer.
   VertexListLease vertex_list() { return VertexListLease(*this); }
 
-  /// Arena of deterministic fork-join lane `i` (multi_split's parallel
-  /// halves): each concurrent task leases from its own child workspace, so
-  /// the lane pools are never touched from two threads.  Created on
-  /// demand and persistent, which keeps repeated forked calls
-  /// allocation-free in steady state.  Call from the orchestration thread
-  /// (before forking), never from inside a pooled task.
+  /// Arena of deterministic fork-join lane `i` (multi_split's lane tree):
+  /// each concurrent task leases from its own child workspace, so the
+  /// lane pools are never touched from two threads.  The pool is sized by
+  /// use — the lane tree materializes workspaces 0..2^fork_depth-1 before
+  /// forking — created on demand and persistent, which keeps repeated
+  /// forked calls allocation-free in steady state.  Call from the
+  /// orchestration thread (before forking), never from inside a pooled
+  /// task.
   DecomposeWorkspace& lane_workspace(int i) {
     while (static_cast<std::size_t>(i) >= lane_ws_.size())
       lane_ws_.push_back(std::make_unique<DecomposeWorkspace>());
     return *lane_ws_[static_cast<std::size_t>(i)];
   }
+
+  /// Index-addressed persistent vertex-list slot `i` of multi_split's lane
+  /// tree (one per tree node).  Unlike the LIFO vertex_list() leases these
+  /// are keyed by position: the orchestration thread materializes every
+  /// slot before forking a level (growth mutates the table below, which
+  /// must never happen concurrently) and each pooled task then fills only
+  /// the slots of its own children.  Slots keep their capacity across
+  /// calls, so the steady-state tree expansion reuses buffers instead of
+  /// allocating per level.
+  std::vector<Vertex>& tree_list(std::size_t i) {
+    while (tree_lists_.size() <= i)
+      tree_lists_.push_back(std::make_unique<std::vector<Vertex>>());
+    return *tree_lists_[i];
+  }
+
+  /// Persistent bookkeeping of the multi_split lane-tree driver (pointer
+  /// tables, per-node split costs, per-leaf results — see
+  /// MultiSplitTreeScratch in multi_split.hpp): created on the first
+  /// forked call and reused, so a warm forked multi_split performs no
+  /// driver-side allocation.  Orchestration thread only.
+  MultiSplitTreeScratch& tree_scratch();
 
   RefineWorkspace refine;
 
@@ -142,6 +170,8 @@ class DecomposeWorkspace {
   std::vector<std::unique_ptr<std::vector<Vertex>>> owned_lists_;
   std::vector<std::vector<Vertex>*> free_lists_;
   std::vector<std::unique_ptr<DecomposeWorkspace>> lane_ws_;
+  std::vector<std::unique_ptr<std::vector<Vertex>>> tree_lists_;
+  std::unique_ptr<MultiSplitTreeScratch> tree_scratch_;
 };
 
 }  // namespace mmd

@@ -67,7 +67,10 @@ class CompositeSplitter final : public ISplitter {
 
   /// A composite lane is a composite of child lanes: each child shares its
   /// immutable per-graph state with the corresponding parent child and
-  /// owns its scratch.  Unsupported (nullptr) if any child lacks lanes.
+  /// owns its scratch, so a whole lane tree of composite replicas can
+  /// split concurrently.  Unsupported (nullptr) if any child lacks lanes —
+  /// multi_split's lane-tree path then logs once and stays serial
+  /// (ISplitter::ensure_lanes) instead of failing quietly.
   std::unique_ptr<ISplitter> make_lane() override {
     std::vector<std::unique_ptr<ISplitter>> lanes;
     lanes.reserve(children_.size());

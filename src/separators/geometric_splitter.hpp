@@ -32,7 +32,8 @@ class GeometricSplitter final : public ISplitter {
   std::string name() const override { return "geometric"; }
 
   /// Stateless between splits (deterministic per-options seed), so a lane
-  /// is simply a fresh instance with the same options.
+  /// is simply a fresh instance with the same options — multi_split's
+  /// lane tree can hold arbitrarily many.
   std::unique_ptr<ISplitter> make_lane() override {
     return std::make_unique<GeometricSplitter>(options_);
   }

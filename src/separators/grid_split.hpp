@@ -40,8 +40,10 @@ class GridSplitter final : public ISplitter {
   std::string name() const override { return "grid"; }
 
   /// Lane replica: shares the immutable OrderingCache (used only by the
-  /// trivial l == 1 level) and the cached min-positive-cost value; owns
-  /// its memberships and cell-sort scratch.
+  /// trivial l == 1 level; bind() is serialized for concurrent lane-tree
+  /// batches) and the cached min-positive-cost value; owns its
+  /// memberships and cell-sort scratch, so any number of lanes can split
+  /// concurrently.
   std::unique_ptr<ISplitter> make_lane() override {
     auto lane = std::unique_ptr<GridSplitter>(new GridSplitter(strict_, cache_));
     lane->minpos_uid_ = minpos_uid_;

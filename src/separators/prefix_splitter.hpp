@@ -47,10 +47,12 @@ class PrefixSplitter final : public ISplitter {
   std::string name() const override { return "prefix"; }
 
   /// A lane shares the immutable OrderingCache (the O(n log n) per-graph
-  /// global orders are computed once, by whoever binds first) and owns its
-  /// memberships, BFS/radix/sweep-eval scratch, and evaluation slots — so
-  /// a lane and its parent may run concurrent split() calls on the same
-  /// graph with bit-identical results.
+  /// global orders are computed once, by whoever binds first — bind() is
+  /// serialized, so a whole lane-tree batch may race to it safely) and
+  /// owns its memberships, BFS/radix/sweep-eval scratch, and evaluation
+  /// slots — so any number of lanes and their parent may run concurrent
+  /// split() calls on the same graph with bit-identical results
+  /// (multi_split's lane tree holds 2^fork_depth of them).
   std::unique_ptr<ISplitter> make_lane() override {
     return std::unique_ptr<ISplitter>(new PrefixSplitter(options_, cache_));
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace mmd {
 
@@ -18,6 +19,24 @@ ISplitter* ISplitter::lane(int i) {
     lanes_.push_back(std::move(lane));
   }
   return lanes_[static_cast<std::size_t>(i)].get();
+}
+
+bool ISplitter::ensure_lanes(int count) {
+  if (count <= 0) return true;
+  if (lane(count - 1) != nullptr) return true;
+  // Lanes unsupported.  With a pool wired in the caller clearly intended
+  // to fork, so say so — once per splitter instance, not per split —
+  // instead of letting a missing make_lane override silently serialize
+  // every multi_split and read as a performance regression.
+  if (pool_ != nullptr && !lane_warning_emitted_) {
+    lane_warning_emitted_ = true;
+    std::fprintf(stderr,
+                 "mmd: splitter '%s' does not implement make_lane(); "
+                 "multi_split falls back to the serial recursion despite "
+                 "a thread pool being set\n",
+                 name().c_str());
+  }
+  return false;
 }
 
 void check_split_contract(const SplitRequest& request, const SplitResult& result) {

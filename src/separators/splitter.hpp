@@ -69,7 +69,7 @@ class ISplitter {
   }
 
   /// The pool handed to set_thread_pool, or nullptr (serial).  Phases
-  /// *between* splits (multi_split's fork-join halves) use this to reach
+  /// *between* splits (multi_split's lane tree) use this to reach
   /// the pool without any extra plumbing through the call chain.
   ThreadPool* thread_pool() const { return pool_; }
 
@@ -86,8 +86,32 @@ class ISplitter {
   /// repeated fork-join phases reuse warm lane scratch instead of
   /// rebuilding replicas per call; nullptr when lanes are unsupported.
   /// Must be called from the orchestration thread (not from inside a
-  /// pooled task) before forking.
+  /// pooled task) before forking.  The lane table is flat and unbounded:
+  /// multi_split's lane tree addresses its 2^fork_depth leaves as lanes
+  /// 0..2^d-1 and its level-l interior batch as lanes 0..2^l-1, so one
+  /// table serves every level (batches are sequential; only tasks within
+  /// one batch run concurrently, and those hold distinct indices).
   ISplitter* lane(int i);
+
+  /// Materialize lanes 0..count-1 eagerly (orchestration thread only) and
+  /// report whether the implementation supports them.  When lanes are
+  /// unsupported while a pool is wired in, this logs a one-time warning to
+  /// stderr instead of silently serializing: a splitter that forgot to
+  /// override make_lane must not masquerade as a perf regression.  Callers
+  /// (multi_split's lane tree) fall back to the serial recursion on false.
+  bool ensure_lanes(int count);
+
+  /// Depth of multi_split's fork-join lane tree: recursion levels
+  /// 0..fork_depth-1 run as deterministic fork-join batches with
+  /// 2^fork_depth leaf lanes.  <= 0 (default) derives the depth from the
+  /// pool size at fork time (see core/multi_split.cpp); any value is
+  /// clamped there to the recursion height and a hard cap of 6 (64
+  /// lanes).  Stored here — like the pool —
+  /// so the phases between splits reach it without plumbing an options
+  /// struct through every recursive call chain.  Purely a scheduling knob:
+  /// results are bit-identical for every value.
+  void set_fork_depth(int depth) { fork_depth_ = depth; }
+  int fork_depth() const { return fork_depth_; }
 
  protected:
   /// Hook for implementations that forward the pool (composite children)
@@ -97,8 +121,10 @@ class ISplitter {
 
  private:
   ThreadPool* pool_ = nullptr;
+  int fork_depth_ = 0;
   std::vector<std::unique_ptr<ISplitter>> lanes_;
   bool lanes_unsupported_ = false;
+  bool lane_warning_emitted_ = false;
 };
 
 /// Verify the hard weight-window postcondition; throws InvariantViolation

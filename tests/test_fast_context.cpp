@@ -60,7 +60,7 @@ TEST(FastContext, BitIdenticalAcrossThreadCounts) {
         FastContext ctx(g, topt);
         const FastResult res = ctx.decompose(w);
         // Bit-identical: same class for every vertex, not merely equal
-        // quality (the multi_split fork-join halves and the splitter
+        // quality (the multi_split lane tree and the splitter
         // candidate fan-out must never change the outcome).
         EXPECT_EQ(res.coloring.color, base.coloring.color)
             << inst.name << " threads=" << threads

@@ -8,10 +8,20 @@
 // Unlike the structured property sweeps, the instances here are shapeless
 // on purpose — no coordinates, dangling vertices, duplicate-edge inputs,
 // skewed degrees — to exercise every fallback path.
+//
+// The differential half (FuzzDifferential) is the seeded property harness
+// for the thread stack: every instance runs serial vs threads {2,4,8} vs
+// explicit lane-tree depths {1,2,3} vs FastContext vs the transient
+// convenience overloads, asserting bitwise-equal colorings and the full
+// verify.cpp invariant set on every output.  A mismatch prints the
+// failing seed (SCOPED_TRACE), so any schedule-dependent divergence is
+// reproducible with one number.
 #include <gtest/gtest.h>
 
+#include "core/context.hpp"
 #include "core/decompose.hpp"
 #include "core/fast.hpp"
+#include "core/verify.hpp"
 #include "test_helpers.hpp"
 #include "util/norms.hpp"
 #include "util/prng.hpp"
@@ -111,6 +121,143 @@ TEST_P(FuzzPipeline, BisectionInitGuaranteesHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(0, 40));
+
+// ---- differential thread-stack harness ---------------------------------
+
+/// Every output — serial or threaded, warm or transient — must pass the
+/// machine-checkable certificate, not merely match some reference.
+void expect_verified(const FuzzInstance& inst, const Coloring& chi,
+                     const std::string& what) {
+  const VerifyReport rep = verify_decomposition(inst.graph, inst.weights, chi);
+  EXPECT_TRUE(rep.ok) << what << ": "
+                      << (rep.failures.empty() ? "(no failure note)"
+                                               : rep.failures.front());
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDifferential, DecomposeThreadStackBitIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 2654435761ull + 13;
+  const FuzzInstance inst = random_instance(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed) + " n=" +
+               std::to_string(inst.graph.num_vertices()) + " m=" +
+               std::to_string(inst.graph.num_edges()) + " k=" +
+               std::to_string(inst.k));
+
+  DecomposeOptions opt;
+  opt.k = inst.k;
+  const DecomposeResult base = decompose(inst.graph, inst.weights, opt);
+  expect_verified(inst, base.coloring, "serial");
+
+  for (const int threads : {2, 4, 8}) {
+    DecomposeOptions topt = opt;
+    topt.num_threads = threads;
+
+    // Warm context path, auto fork depth (the default production shape).
+    DecomposeContext ctx(inst.graph, topt);
+    const DecomposeResult warm = ctx.decompose(inst.weights);
+    expect_verified(inst, warm.coloring,
+                    "ctx threads=" + std::to_string(threads));
+    ASSERT_EQ(warm.coloring.color, base.coloring.color)
+        << "ctx threads=" << threads;
+
+    // Transient convenience overload (fresh splitter/pool per call).
+    const DecomposeResult transient = decompose(inst.graph, inst.weights, topt);
+    expect_verified(inst, transient.coloring,
+                    "transient threads=" + std::to_string(threads));
+    ASSERT_EQ(transient.coloring.color, base.coloring.color)
+        << "transient threads=" << threads;
+
+    // Explicit lane-tree depths on the warm context (reconcile must not
+    // rebuild anything; depths beyond the recursion height clamp).
+    for (const int depth : {1, 2, 3}) {
+      DecomposeOptions dopt = topt;
+      dopt.fork_depth = depth;
+      const DecomposeResult forked = ctx.decompose(inst.weights, dopt);
+      expect_verified(inst, forked.coloring,
+                      "threads=" + std::to_string(threads) +
+                          " fork_depth=" + std::to_string(depth));
+      ASSERT_EQ(forked.coloring.color, base.coloring.color)
+          << "threads=" << threads << " fork_depth=" << depth;
+    }
+    EXPECT_EQ(ctx.stats().splitter_builds, 1) << "fork_depth sweep rebuilt";
+  }
+}
+
+TEST_P(FuzzDifferential, MultiMeasureThreadStackBitIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 40487ull + 19;
+  const FuzzInstance inst = random_instance(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  // Extra measures deepen the Lemma 8 recursion, so decompose_multi is
+  // where fork_depth 2/3 genuinely engages inside the pipeline.
+  Rng rng(seed ^ 0xdeadbeef);
+  std::vector<std::vector<double>> extra(2);
+  for (auto& m : extra) {
+    m.resize(inst.weights.size());
+    for (auto& x : m) x = rng.uniform(0.0, 3.0);
+  }
+  const std::vector<MeasureRef> extra_refs(extra.begin(), extra.end());
+
+  DecomposeOptions opt;
+  opt.k = inst.k;
+  const MultiDecomposeResult base =
+      decompose_multi(inst.graph, inst.weights, extra_refs, opt);
+  expect_verified(inst, base.coloring, "multi serial");
+
+  for (const int threads : {2, 4, 8}) {
+    DecomposeOptions topt = opt;
+    topt.num_threads = threads;
+    DecomposeContext ctx(inst.graph, topt);
+    const MultiDecomposeResult warm =
+        ctx.decompose_multi(inst.weights, extra_refs);
+    expect_verified(inst, warm.coloring,
+                    "multi ctx threads=" + std::to_string(threads));
+    ASSERT_EQ(warm.coloring.color, base.coloring.color)
+        << "multi ctx threads=" << threads;
+
+    DecomposeOptions dopt = topt;
+    dopt.fork_depth = 3;
+    const MultiDecomposeResult forked =
+        ctx.decompose_multi(inst.weights, extra_refs, dopt);
+    expect_verified(inst, forked.coloring,
+                    "multi threads=" + std::to_string(threads));
+    ASSERT_EQ(forked.coloring.color, base.coloring.color)
+        << "multi threads=" << threads << " fork_depth=3";
+  }
+}
+
+TEST_P(FuzzDifferential, FastThreadStackBitIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 75193ull + 29;
+  const FuzzInstance inst = random_instance(seed);
+  SCOPED_TRACE("seed " + std::to_string(seed));
+
+  FastOptions opt;
+  opt.inner.k = inst.k;
+  opt.coarse_target = 32;
+  const FastResult base = decompose_fast(inst.graph, inst.weights, opt);
+  expect_verified(inst, base.coloring, "fast serial");
+
+  // Warm context (transient overload routes through one, so call one must
+  // match bit-for-bit) and the threaded stack on top of it.
+  FastContext warm_ctx(inst.graph, opt);
+  const FastResult warm = warm_ctx.decompose(inst.weights);
+  ASSERT_EQ(warm.coloring.color, base.coloring.color) << "fast ctx cold";
+  const FastResult rewarm = warm_ctx.decompose(inst.weights);
+  ASSERT_EQ(rewarm.coloring.color, base.coloring.color) << "fast ctx warm";
+
+  for (const int threads : {2, 4, 8}) {
+    FastOptions topt = opt;
+    topt.inner.num_threads = threads;
+    FastContext ctx(inst.graph, topt);
+    const FastResult res = ctx.decompose(inst.weights);
+    expect_verified(inst, res.coloring,
+                    "fast threads=" + std::to_string(threads));
+    ASSERT_EQ(res.coloring.color, base.coloring.color)
+        << "fast threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace mmd

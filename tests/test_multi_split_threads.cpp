@@ -1,9 +1,11 @@
-// multi_split's fork-join halves: with a thread pool reachable through the
-// splitter, the two recursion halves run concurrently on per-lane splitter
-// replicas (ISplitter::make_lane) and per-lane workspaces — and must stay
-// bit-identical to the serial recursion.  The pooled VertexListLease /
-// lane-workspace machinery must also stay allocation-free in steady state,
-// which the counting allocator below asserts directly.
+// multi_split's lane tree: with a thread pool reachable through the
+// splitter, the top fork_depth recursion levels run as deterministic
+// fork-join batches on per-lane splitter replicas (ISplitter::make_lane)
+// and per-lane workspaces, with lane indices assigned by tree position —
+// and must stay bit-identical to the serial recursion for every thread
+// count and depth.  The pooled lease / lane-workspace / tree-arena
+// machinery must also stay allocation-flat in steady state, which the
+// counting allocator below asserts directly.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -103,6 +105,62 @@ TEST(MultiSplitThreads, ForkedHalvesBitIdenticalToSerial) {
   }
 }
 
+TEST(MultiSplitThreads, LaneTreeBitIdenticalToSerial) {
+  // The full depth matrix: fork_depth 0 (auto from the pool size) and
+  // 1/2/3 explicit, across pools of 2/4/8 lanes, on every instance shape.
+  // r = 4 measures give the tree three forkable levels, so depth 3 is
+  // genuinely reached (deeper requests clamp to the recursion height).
+  for (const Instance& inst : instances()) {
+    const Graph& g = inst.graph;
+    const auto vs = all_vertices(g);
+    const auto measures = measures_for(g, 4);
+    const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+    PrefixSplitter serial_splitter;
+    const TwoColoring serial = multi_split(g, vs, refs, serial_splitter);
+
+    for (const int threads : {2, 4, 8}) {
+      ThreadPool pool(threads);
+      for (const int depth : {0, 1, 2, 3}) {
+        PrefixSplitter splitter;
+        splitter.set_thread_pool(&pool);
+        splitter.set_fork_depth(depth);
+        DecomposeWorkspace ws;
+        const TwoColoring par = multi_split(g, vs, refs, splitter, &ws);
+        EXPECT_EQ(par.side[0], serial.side[0])
+            << inst.name << " threads=" << threads << " fork_depth=" << depth;
+        EXPECT_EQ(par.side[1], serial.side[1])
+            << inst.name << " threads=" << threads << " fork_depth=" << depth;
+        EXPECT_EQ(par.cut_cost, serial.cut_cost)
+            << inst.name << " threads=" << threads << " fork_depth=" << depth;
+      }
+    }
+  }
+}
+
+TEST(MultiSplitThreads, DeepForkDepthClampsToRecursionHeight) {
+  // fork_depth far beyond the recursion height (and the auto depth on a
+  // pool wider than 2^(r-1) lanes) must clamp, not misbehave.
+  const Graph g = make_grid_cube(2, 12);
+  const auto vs = all_vertices(g);
+  const auto measures = measures_for(g, 2);  // one forkable level only
+  const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+  PrefixSplitter serial_splitter;
+  const TwoColoring serial = multi_split(g, vs, refs, serial_splitter);
+
+  ThreadPool pool(8);
+  for (const int depth : {0, 5, 64}) {
+    PrefixSplitter splitter;
+    splitter.set_thread_pool(&pool);
+    splitter.set_fork_depth(depth);
+    DecomposeWorkspace ws;
+    const TwoColoring par = multi_split(g, vs, refs, splitter, &ws);
+    EXPECT_EQ(par.side[0], serial.side[0]) << "fork_depth=" << depth;
+    EXPECT_EQ(par.side[1], serial.side[1]) << "fork_depth=" << depth;
+  }
+}
+
 TEST(MultiSplitThreads, CompositeSplitterLanesBitIdentical) {
   // The Auto stack on a grid is best-of(grid, prefix); its lanes are
   // composites of child lanes sharing each child's immutable cache.
@@ -150,38 +208,84 @@ TEST(MultiSplitThreads, LaneMatchesParentOnEveryRequest) {
   }
 }
 
-// ---- steady-state allocation behavior ----------------------------------
+TEST(MultiSplitThreads, LanelessSplitterFallsBackToSerialExplicitly) {
+  // A splitter without make_lane must not break the lane-tree path: the
+  // fork falls back to the serial recursion (ensure_lanes reports false,
+  // logging once) and the result matches the no-pool run exactly.
+  class LanelessSplitter final : public ISplitter {
+   public:
+    SplitResult split(const SplitRequest& request) override {
+      return inner_.split(request);
+    }
+    std::string name() const override { return "laneless"; }
+    // make_lane deliberately not overridden: default returns nullptr.
+   private:
+    PrefixSplitter inner_;
+  };
 
-TEST(MultiSplitThreads, WarmLeasesMakeNoHeapAllocations) {
-  const Graph g = make_grid_cube(2, 14);
-  ThreadPool pool(2);
-  PrefixSplitter splitter;
-  splitter.set_thread_pool(&pool);
-  DecomposeWorkspace ws;
+  const Graph g = make_grid_cube(2, 12);
   const auto vs = all_vertices(g);
   const auto measures = measures_for(g, 3);
   const std::vector<MeasureRef> refs(measures.begin(), measures.end());
 
-  // Two warm-up calls grow every pool (vertex lists, memberships, lane
-  // workspaces, splitter lanes and their scratch) to steady state.
+  LanelessSplitter serial_splitter;
+  const TwoColoring serial = multi_split(g, vs, refs, serial_splitter);
+
+  ThreadPool pool(4);
+  LanelessSplitter splitter;
+  splitter.set_thread_pool(&pool);
+  EXPECT_FALSE(splitter.ensure_lanes(4));
+  DecomposeWorkspace ws;
+  const TwoColoring par = multi_split(g, vs, refs, splitter, &ws);
+  EXPECT_EQ(par.side[0], serial.side[0]);
+  EXPECT_EQ(par.side[1], serial.side[1]);
+  EXPECT_EQ(par.cut_cost, serial.cut_cost);
+}
+
+// ---- steady-state allocation behavior ----------------------------------
+
+TEST(MultiSplitThreads, WarmLeasesMakeNoHeapAllocations) {
+  const Graph g = make_grid_cube(2, 14);
+  ThreadPool pool(8);
+  PrefixSplitter splitter;
+  splitter.set_thread_pool(&pool);
+  splitter.set_fork_depth(3);  // 8 leaf lanes / lane workspaces
+  DecomposeWorkspace ws;
+  const auto vs = all_vertices(g);
+  const auto measures = measures_for(g, 4);
+  const std::vector<MeasureRef> refs(measures.begin(), measures.end());
+
+  // Two warm-up calls grow the lane-tree machinery (tree-arena slots,
+  // lane workspaces, splitter lanes and their scratch) to steady state.
   (void)multi_split(g, vs, refs, splitter, &ws);
   (void)multi_split(g, vs, refs, splitter, &ws);
 
-  // The pooled leases themselves are allocation-free once warm — in the
-  // parent workspace and in both fork-join lane workspaces.
-  const long before = g_alloc_count.load();
-  for (int round = 0; round < 64; ++round) {
+  // The parent workspace's own LIFO pools are not touched by the tree
+  // driver (complements live in the tree arena, memberships in the lane
+  // workspaces), so one lease round warms them explicitly.
+  const auto lease_round = [&] {
     const auto list = ws.vertex_list();
     list->push_back(0);
     const auto member = ws.membership(g.num_vertices());
     member->add(0);
-    for (int lane = 0; lane < 2; ++lane) {
+    for (int lane = 0; lane < 8; ++lane) {
       DecomposeWorkspace& lane_ws = ws.lane_workspace(lane);
       const auto lane_list = lane_ws.vertex_list();
       lane_list->push_back(1);
       const auto lane_member = lane_ws.membership(g.num_vertices());
       lane_member->add(1);
     }
+  };
+  lease_round();
+
+  // The pooled leases themselves are allocation-free once warm — in the
+  // parent workspace and in all eight leaf-lane workspaces — and so is
+  // re-touching every tree-arena slot.
+  const long before = g_alloc_count.load();
+  for (int round = 0; round < 64; ++round) {
+    lease_round();
+    for (std::size_t slot = 0; slot < 14; ++slot)  // 2^4 - 2 tree slots
+      ws.tree_list(slot);
   }
   EXPECT_EQ(g_alloc_count.load() - before, 0)
       << "pooled leases allocated in steady state";
@@ -189,32 +293,38 @@ TEST(MultiSplitThreads, WarmLeasesMakeNoHeapAllocations) {
 
 TEST(MultiSplitThreads, SteadyStateAllocationCountIsStable) {
   // A full multi_split necessarily allocates its result vectors, but in
-  // steady state (warm workspace, warm lanes) the per-call allocation
-  // count must be flat — no hidden per-call growth from the parallel
-  // halves, the lane workspaces, or the splitter replicas.
+  // steady state (warm workspace, warm lanes, warm tree arena) the
+  // per-call allocation count must be flat — no hidden per-call growth
+  // from the batched levels, the lane workspaces, or the splitter
+  // replicas.  Pinned at every lane-tree depth the recursion admits,
+  // matching the original 2-lane pin at fork_depth 1.
   const Graph g = make_grid_cube(2, 14);
-  ThreadPool pool(2);
-  PrefixSplitter splitter;
-  splitter.set_thread_pool(&pool);
-  DecomposeWorkspace ws;
   const auto vs = all_vertices(g);
-  const auto measures = measures_for(g, 3);
+  const auto measures = measures_for(g, 4);
   const std::vector<MeasureRef> refs(measures.begin(), measures.end());
 
-  (void)multi_split(g, vs, refs, splitter, &ws);
-  (void)multi_split(g, vs, refs, splitter, &ws);
+  for (const int depth : {1, 2, 3}) {
+    ThreadPool pool(4);
+    PrefixSplitter splitter;
+    splitter.set_thread_pool(&pool);
+    splitter.set_fork_depth(depth);
+    DecomposeWorkspace ws;
 
-  const long before_a = g_alloc_count.load();
-  const TwoColoring a = multi_split(g, vs, refs, splitter, &ws);
-  const long cost_a = g_alloc_count.load() - before_a;
+    (void)multi_split(g, vs, refs, splitter, &ws);
+    (void)multi_split(g, vs, refs, splitter, &ws);
 
-  const long before_b = g_alloc_count.load();
-  const TwoColoring b = multi_split(g, vs, refs, splitter, &ws);
-  const long cost_b = g_alloc_count.load() - before_b;
+    const long before_a = g_alloc_count.load();
+    const TwoColoring a = multi_split(g, vs, refs, splitter, &ws);
+    const long cost_a = g_alloc_count.load() - before_a;
 
-  EXPECT_EQ(cost_a, cost_b);
-  EXPECT_EQ(a.side[0], b.side[0]);
-  EXPECT_EQ(a.side[1], b.side[1]);
+    const long before_b = g_alloc_count.load();
+    const TwoColoring b = multi_split(g, vs, refs, splitter, &ws);
+    const long cost_b = g_alloc_count.load() - before_b;
+
+    EXPECT_EQ(cost_a, cost_b) << "fork_depth=" << depth;
+    EXPECT_EQ(a.side[0], b.side[0]) << "fork_depth=" << depth;
+    EXPECT_EQ(a.side[1], b.side[1]) << "fork_depth=" << depth;
+  }
 }
 
 }  // namespace

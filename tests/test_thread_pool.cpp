@@ -1,0 +1,167 @@
+// Dedicated ThreadPool property/stress suite.  The pool is the substrate
+// of every bit-identical parallel path (splitter candidates, composite
+// children, multi_split's lane tree), so its contract is pinned directly:
+//   * run(count, fn) invokes fn(0..count-1) exactly once each,
+//   * the calling thread participates as a lane (and is the only lane on
+//     the count == 1 / no-worker fast paths, which keeps nested
+//     candidate parallelism available to the lane tree's level-0 batch),
+//   * nested run() from inside a pooled task executes inline on that
+//     task's thread (deadlock-free by construction),
+//   * a stale lane re-entering after the next batch started must not
+//     claim the new batch's indices through the old function pointer
+//     (batch-generation claim guard),
+//   * pools can be torn down and rebuilt — and splitters rebound across
+//     pools — under repeated submit storms without stale-lane leaks.
+// test_context_threads.cpp covers the basics; this file is the storm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "separators/prefix_splitter.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mmd {
+namespace {
+
+TEST(ThreadPoolStress, CallerParticipatesInEveryFullBatch) {
+  // count == num_threads tasks that all spin until every task has
+  // started: the only way the batch can finish is one task per lane, so
+  // the calling thread must have executed exactly one of them.
+  for (const int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::atomic<int> started{0};
+    std::vector<std::thread::id> ids(static_cast<std::size_t>(threads));
+    pool.run(threads, [&](int i) {
+      ids[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+      started.fetch_add(1);
+      while (started.load() < threads) std::this_thread::yield();
+    });
+    EXPECT_NE(std::find(ids.begin(), ids.end(), std::this_thread::get_id()),
+              ids.end())
+        << "caller did not participate, threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolStress, SingleTaskBatchStaysOnCallerWithoutWorkerState) {
+  // The count == 1 fast path runs inline on the orchestration thread and
+  // must NOT mark it as a worker: the lane tree's level-0 batch relies on
+  // this so the top split keeps its intra-split candidate parallelism.
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.run(1, [&](int i) {
+    EXPECT_EQ(i, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+  pool.run(0, [&](int) { FAIL() << "run(0) must be a no-op"; });
+}
+
+TEST(ThreadPoolStress, NestedRunStaysInlineOnTheTaskThread) {
+  ThreadPool pool(4);
+  constexpr int kOuter = 16;
+  constexpr int kInner = 8;
+  std::vector<std::atomic<int>> inner_hits(kOuter * kInner);
+  for (auto& h : inner_hits) h = 0;
+  std::atomic<int> migrated{0};
+  pool.run(kOuter, [&](int i) {
+    const std::thread::id own = std::this_thread::get_id();
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    pool.run(kInner, [&](int j) {
+      if (std::this_thread::get_id() != own) migrated.fetch_add(1);
+      ++inner_hits[static_cast<std::size_t>(i * kInner + j)];
+    });
+  });
+  EXPECT_EQ(migrated.load(), 0) << "nested tasks left the outer thread";
+  for (const auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPoolStress, ClaimGuardSurvivesSubmitStorm) {
+  // Back-to-back batches of varying size with occasional slow tasks: a
+  // stale lane waking late must bow out instead of claiming indices of
+  // the newer batch (any violation double-counts or starves a slot, and
+  // the per-round exact-hit assertion catches both).
+  ThreadPool pool(4);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 4000; ++round) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const int count = 1 + static_cast<int>((x >> 33) % 11);
+    const bool stagger = (x >> 13) % 16 == 0;
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+    for (auto& h : hits) h = 0;
+    pool.run(count, [&](int i) {
+      if (stagger && i == 0) std::this_thread::yield();
+      ++hits[static_cast<std::size_t>(i)];
+    });
+    for (int i = 0; i < count; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "round " << round << " index " << i;
+  }
+}
+
+TEST(ThreadPoolStress, ExceptionStormLeavesThePoolReusable) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_THROW(pool.run(9,
+                          [&](int i) {
+                            if (i == round % 9) throw std::runtime_error("x");
+                          }),
+                 std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.run(5, [&](int) { ++ok; });
+    ASSERT_EQ(ok.load(), 5) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, PoolRebuildStorm) {
+  // The DecomposeContext reconcile path tears a pool down and builds a
+  // wider one whenever num_threads changes; a storm of that must neither
+  // leak worker state nor corrupt batches.
+  for (int round = 0; round < 60; ++round) {
+    const int threads = 1 + (round % 8);
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    for (int batch = 0; batch < 5; ++batch) {
+      std::atomic<int> sum{0};
+      pool.run(2 * threads + 1, [&](int i) { sum.fetch_add(i + 1); });
+      const int n = 2 * threads + 1;
+      ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, SplitterRebindDropsStaleLanesAndPoolPointers) {
+  // set_thread_pool must drop cached lanes (they hold the old pool
+  // pointer) and rebind freshly created ones to the new pool — across
+  // repeated rebinds, including back to serial.
+  PrefixSplitter splitter;
+  ThreadPool a(2), b(4);
+  splitter.set_thread_pool(&a);
+  ISplitter* lane_a = splitter.lane(0);
+  ASSERT_NE(lane_a, nullptr);
+  EXPECT_EQ(lane_a->thread_pool(), &a);
+
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool* pool = round % 2 == 0 ? &b : &a;
+    splitter.set_thread_pool(pool);
+    for (int i = 0; i < 4; ++i) {
+      ISplitter* lane = splitter.lane(i);
+      ASSERT_NE(lane, nullptr);
+      EXPECT_EQ(lane->thread_pool(), pool) << "round " << round;
+    }
+  }
+  splitter.set_thread_pool(nullptr);
+  ASSERT_NE(splitter.lane(0), nullptr);
+  EXPECT_EQ(splitter.lane(0)->thread_pool(), nullptr);
+}
+
+}  // namespace
+}  // namespace mmd

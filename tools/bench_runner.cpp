@@ -5,9 +5,10 @@
 //     (k = 16) and growing k (side 96), in the modes the library has
 //     grown so far: "cold" (a fresh splitter per call, the seed's only
 //     mode), "warm" (persistent splitter + DecomposeWorkspace, PR 1),
-//     "ctx-warm" (a reused DecomposeContext, PR 2), "ctx-threads2"
-//     (context with num_threads = 2 — bit-identical boundaries by the
-//     splitter contract, so its max_boundary_vs_seed must merge to 0),
+//     "ctx-warm" (a reused DecomposeContext, PR 2), "ctx-threads2/4/8"
+//     (context with num_threads = 2/4/8; 4/8 drive the multi_split lane
+//     tree at its auto fork depth, PR 5 — bit-identical boundaries by the
+//     splitter contract, so their max_boundary_vs_seed must merge to 0),
 //     "eval-incremental" (PR 4: the SweepEval engine in its default
 //     better-of-two mode — the same rows as ctx-warm, named so the
 //     candidate-evaluation rework is directly attributable), and
@@ -20,8 +21,8 @@
 //     constants dominate: "cold" (decompose_fast from scratch, as the
 //     seed runs it), "fast-ctx-warm" (a reused FastContext: cached
 //     hierarchy + warm coarse context + persistent finest-level splitter,
-//     PR 3), and "fast-threads2" (FastContext with inner.num_threads = 2,
-//     again bit-identical by construction);
+//     PR 3), and "fast-threads2/4/8" (FastContext with inner.num_threads
+//     = 2/4/8, again bit-identical by construction);
 //   * a min-max refinement microbench on random colorings, per engine.
 //
 // The same source compiles against the seed tree (which predates
@@ -158,13 +159,18 @@ void bench_decompose(const char* config, int side, int k, double heavy = 0.0) {
 
 #ifdef MMD_BENCH_HAS_CONTEXT
   // The public warm path: a reused DecomposeContext (owned splitter +
-  // workspace; zero rebuilds after call one), serial and 2-threaded.
-  for (const int threads : {1, 2}) {
+  // workspace; zero rebuilds after call one), serial and 2/4/8-threaded
+  // (the wider pools drive the multi_split lane tree at its auto fork
+  // depth — on a 1-core host these rows measure sync overhead only; see
+  // docs/BENCHMARKS.md).
+  for (const int threads : {1, 2, 4, 8}) {
     DecomposeOptions copt = opt;
     copt.num_threads = threads;
     Row row{"decompose_grid2d", config,
             side,              g.num_vertices(),
-            k,                 threads == 1 ? "ctx-warm" : "ctx-threads2",
+            k,                 threads == 1
+                                   ? std::string("ctx-warm")
+                                   : "ctx-threads" + std::to_string(threads),
             1e300,             0.0};
     DecomposeContext ctx(g, copt);
     for (int r = 0; r < reps + 1; ++r) {  // first call builds the caches
@@ -226,13 +232,15 @@ void bench_fast(const char* config, int side, int k) {
 
 #ifdef MMD_HAS_FAST_CONTEXT
   // The warm multilevel path: cached hierarchy, warm coarse context,
-  // persistent finest-level splitter — serial and 2-threaded.
-  for (const int threads : {1, 2}) {
+  // persistent finest-level splitter — serial and 2/4/8-threaded.
+  for (const int threads : {1, 2, 4, 8}) {
     FastOptions copt = opt;
     copt.inner.num_threads = threads;
     Row row{"fast_grid2d", config,
             side,          g.num_vertices(),
-            k,             threads == 1 ? "fast-ctx-warm" : "fast-threads2",
+            k,             threads == 1
+                               ? std::string("fast-ctx-warm")
+                               : "fast-threads" + std::to_string(threads),
             1e300,         0.0};
     FastContext ctx(g, copt);
     for (int r = 0; r < reps + 1; ++r) {  // first call builds the caches

@@ -7,6 +7,8 @@
 //   -o <path>          write the partition (one color per line)
 //   --fast             multilevel fast mode (large graphs)
 //   --splitter <name>  auto | prefix | grid     (default auto)
+//   --threads <n>      thread-pool lanes (1 = serial; bit-identical)
+//   --fork-depth <d>   multi_split lane-tree depth (0 = from --threads)
 //   --image <path>     render the partition as a PPM (2-D instances)
 //   --compare          also run greedy / recursive-bisection baselines
 //   --quiet            suppress the report table
@@ -36,7 +38,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s -k <parts> [-p <norm>] [-o <out>] [--fast]\n"
                "       [--splitter auto|prefix|grid] [--init best|paper|bisection]\n"
-               "       [--window-scan] [--image <ppm>]\n"
+               "       [--window-scan] [--threads <n>] [--fork-depth <d>]\n"
+               "       [--image <ppm>]\n"
                "       [--compare] [--quiet] [--verify] <input.graph>\n",
                argv0);
   std::exit(2);
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
   std::string input, output, image;
   bool fast = false, compare = false, quiet = false, verify = false;
   bool window_scan = false;
+  int threads = 1;
+  int fork_depth = 0;  // 0 = derive the lane-tree depth from the pool
   SplitterKind splitter = SplitterKind::Auto;
   InitMethod init = InitMethod::Best;  // the tool defaults to best-of
 
@@ -78,6 +83,12 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (arg == "--window-scan") {
       window_scan = true;  // min-cost in-window prefixes (SweepMode)
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+      if (threads < 1) usage(argv[0]);
+    } else if (arg == "--fork-depth") {
+      fork_depth = std::atoi(next());
+      if (fork_depth < 0) usage(argv[0]);
     } else if (arg == "--splitter") {
       const std::string name = next();
       if (name == "auto") splitter = SplitterKind::Auto;
@@ -113,6 +124,8 @@ int main(int argc, char** argv) {
       opt.inner.splitter = splitter;
       opt.inner.init = init;
       opt.inner.window_scan = window_scan;
+      opt.inner.num_threads = threads;
+      opt.inner.fork_depth = fork_depth;
       FastResult res = decompose_fast(g, in.weights, opt);
       chi = std::move(res.coloring);
       balance = res.balance;
@@ -126,6 +139,8 @@ int main(int argc, char** argv) {
       opt.splitter = splitter;
       opt.init = init;
       opt.window_scan = window_scan;
+      opt.num_threads = threads;
+      opt.fork_depth = fork_depth;
       DecomposeResult res = decompose(g, in.weights, opt);
       chi = std::move(res.coloring);
       balance = res.balance;
