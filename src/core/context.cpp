@@ -30,8 +30,21 @@ void DecomposeContext::reconcile(const DecomposeOptions& options) {
   if (pool_stale) {
     pool_.reset();
     if (options.num_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(options.num_threads);
-      ++stats_.pool_builds;
+      try {
+        pool_ = std::make_unique<ThreadPool>(options.num_threads);
+        ++stats_.pool_builds;
+      } catch (...) {
+        // Thread/memory exhaustion while spawning workers: the serial path
+        // computes the identical result (splitter contract), so degrade
+        // instead of failing the whole context.  The pool stays null until
+        // a future reconcile with a different thread count retries.
+        pool_.reset();
+        ++stats_.pool_construct_failures;
+        diag_report(options.diagnostics, DiagEvent::PoolConstructFailed,
+                    "ThreadPool construction failed (thread or memory "
+                    "exhaustion); decompose context degraded to the serial "
+                    "path");
+      }
     }
   }
   if (splitter_stale) {

@@ -35,6 +35,10 @@ struct DecomposeContextStats {
   long decompose_calls = 0;  ///< decompose + decompose_multi calls served
   int splitter_builds = 0;   ///< internal splitter (re)constructions
   int pool_builds = 0;       ///< thread-pool (re)constructions
+  /// Pool constructions that threw (thread/memory exhaustion); each one
+  /// degraded the context to the serial path (results identical, slower)
+  /// and reported PoolConstructFailed on options.diagnostics.
+  int pool_construct_failures = 0;
 };
 
 /// Reusable decomposition state bound to one graph.

@@ -88,6 +88,12 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   MMD_REQUIRE(options.p > 1.0, "p must exceed 1");
   MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
               "weight arity mismatch");
+  // Stamp the execution control and diagnostics sink on the splitter tree
+  // (they propagate to lanes), then checkpoint before doing any work: an
+  // already-expired deadline must throw here, not after a phase ran.
+  splitter.set_exec_control(options.exec);
+  splitter.set_diagnostics(options.diagnostics);
+  options.exec.check();
   DecomposeWorkspace local_ws;
   DecomposeWorkspace& wsr = ws ? *ws : local_ws;
 
@@ -135,6 +141,7 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   // strict balance; when phase 1 already delivers that (common for the
   // bisection warm start, occasional for benign instances), skipping the
   // shrink-and-conquer recursion is both valid and cheaper.
+  options.exec.check();  // phase boundary checkpoint
   phase_timer.reset();
   if (options.use_strictify && options.k > 1 &&
       !balance_report(w, chi).almost_strictly_balanced) {
@@ -144,6 +151,7 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   out.phase_strictify = report_phase(g, w, chi, phase_timer.seconds());
 
   // Phase 3: Proposition 12.
+  options.exec.check();
   phase_timer.reset();
   if (options.use_binpack2 && options.k > 1) {
     chi = binpack2(g, chi, w, splitter, nullptr, &wsr);
@@ -153,9 +161,12 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   // Phase 4 (extension): min-max hill climbing.  Only applied once the
   // coloring is strictly balanced, so the Definition 1 window it must
   // preserve is the one the caller asked for.
+  options.exec.check();
   phase_timer.reset();
   if (options.use_refinement && options.use_binpack2 && options.k > 1) {
-    out.refine_stats = minmax_refine(g, chi, w, options.refine, &wsr.refine);
+    MinmaxRefineOptions refine = options.refine;
+    refine.exec = options.exec;  // round-boundary checkpoints inside
+    out.refine_stats = minmax_refine(g, chi, w, refine, &wsr.refine);
   }
   out.phase_refine = report_phase(g, w, chi, phase_timer.seconds());
 
@@ -192,6 +203,9 @@ MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi
   for (const MeasureRef& m : extra_measures)
     MMD_REQUIRE(static_cast<Vertex>(m.size()) == g.num_vertices(),
                 "extra measure arity mismatch");
+  splitter.set_exec_control(options.exec);
+  splitter.set_diagnostics(options.diagnostics);
+  options.exec.check();
 
   MultiDecomposeResult out;
   out.sigma_p = options.sigma_p > 0.0 ? options.sigma_p
@@ -214,8 +228,12 @@ MultiDecomposeResult decompose_multi(const Graph& g, std::span<const double> psi
                            nullptr, extra_measures, &wsr);
   if (options.use_binpack2 && options.k > 1)
     chi = binpack2(g, chi, psi, splitter, nullptr, &wsr);
-  if (options.use_refinement && options.use_binpack2 && options.k > 1)
-    minmax_refine(g, chi, psi, options.refine, &wsr.refine);
+  if (options.use_refinement && options.use_binpack2 && options.k > 1) {
+    options.exec.check();
+    MinmaxRefineOptions refine = options.refine;
+    refine.exec = options.exec;
+    minmax_refine(g, chi, psi, refine, &wsr.refine);
+  }
 
   out.coloring = std::move(chi);
   out.psi_balance = balance_report(psi, out.coloring);

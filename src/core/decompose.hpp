@@ -22,6 +22,8 @@
 #include "core/refine.hpp"
 #include "core/strictify.hpp"
 #include "graph/coloring.hpp"
+#include "util/diagnostics.hpp"
+#include "util/exec_control.hpp"
 
 namespace mmd {
 
@@ -93,6 +95,23 @@ struct DecomposeOptions {
   RebalanceOptions rebalance;   ///< phase 1 (Prop 7) tuning
   StrictifyParams strictify;    ///< phase 2 (Prop 11) tuning
   MinmaxRefineOptions refine;   ///< phase 4 (refinement) tuning
+
+  /// Execution control: a steady-clock deadline and/or a caller-held
+  /// cancellation token, checked at cheap deterministic checkpoints (call
+  /// entry, every split() entry, refinement round/pass boundaries,
+  /// multi_split batch edges) and surfaced as DeadlineExceeded/Cancelled.
+  /// Default: unlimited.  The checks never perturb the computation — a
+  /// call that finishes before its deadline is bit-identical to an
+  /// unlimited one.  `exec.cancel`, when set, is borrowed and must outlive
+  /// the call.  See util/exec_control.hpp and docs/ARCHITECTURE.md
+  /// ("Error model & execution control").
+  ExecControl exec;
+  /// Borrowed diagnostics sink (counters + optional callback) for
+  /// conditions the library would otherwise have to log: laneless
+  /// fallback, pool construction failure, degraded fast-mode results.
+  /// nullptr (default) counts nowhere; the library never writes to
+  /// stderr.  Must outlive every call using these options.
+  DecomposeDiagnostics* diagnostics = nullptr;
 };
 
 /// Timing and quality snapshot taken after one pipeline phase.

@@ -45,8 +45,19 @@ void FastContext::reconcile(const FastOptions& options) {
     fine_splitter_.reset();
     pool_.reset();
     if (options.inner.num_threads > 1) {
-      pool_ = std::make_unique<ThreadPool>(options.inner.num_threads);
-      ++stats_.pool_builds;
+      try {
+        pool_ = std::make_unique<ThreadPool>(options.inner.num_threads);
+        ++stats_.pool_builds;
+      } catch (...) {
+        // Same degradation contract as DecomposeContext: the serial path
+        // computes the identical result, so a pool that cannot be built
+        // (thread/memory exhaustion) must not fail the context.
+        pool_.reset();
+        ++stats_.pool_construct_failures;
+        diag_report(options.inner.diagnostics, DiagEvent::PoolConstructFailed,
+                    "ThreadPool construction failed (thread or memory "
+                    "exhaustion); fast context degraded to the serial path");
+      }
     }
   }
   if (fine_splitter_stale) fine_splitter_.reset();
@@ -113,12 +124,17 @@ ISplitter& FastContext::fine_splitter() {
     ++stats_.fine_splitter_builds;
   }
   fine_splitter_->set_fork_depth(options_.inner.fork_depth);
+  // Re-stamped per call like fork_depth: both are per-call state.
+  fine_splitter_->set_exec_control(options_.inner.exec);
+  fine_splitter_->set_diagnostics(options_.inner.diagnostics);
   return *fine_splitter_;
 }
 
 FastResult FastContext::decompose(std::span<const double> w) {
   MMD_REQUIRE(static_cast<Vertex>(w.size()) == g_->num_vertices(),
               "weight arity mismatch");
+  const ExecControl exec = options_.inner.exec;
+  exec.check();  // an already-expired deadline throws before any work
   Timer timer;
   ++stats_.fast_calls;
   ensure_levels(w);
@@ -129,33 +145,64 @@ FastResult FastContext::decompose(std::span<const double> w) {
 
   // Full pipeline on the coarsest level.  Coarse nodes can be heavy, so
   // the strict window there is loose — re-established at the finest level.
+  // A deadline/cancel here propagates: with no complete coarse solution
+  // there is nothing to degrade to.
   const std::span<const double> coarse_w =
       levels_.empty() ? w : std::span<const double>(levels_.back().weights);
   Coloring chi = coarse_ctx_->decompose(coarse_w, coarse_options()).coloring;
 
   // Uncoarsen with per-level refinement (loose balance slack on interior
-  // levels: coarse nodes are heavy, exactness comes at the end).
-  for (std::size_t i = levels_.size(); i-- > 0;) {
-    chi = project_coloring(chi, levels_[i].parent);
-    const Graph& level_graph = i == 0 ? *g_ : levels_[i - 1].graph;
-    const std::span<const double> level_w =
-        i == 0 ? w : std::span<const double>(levels_[i - 1].weights);
-    MinmaxRefineOptions ro;
-    ro.max_passes = options_.refine_passes_per_level;
-    ro.balance_slack = i == 0 ? 1.0 : 2.0;
-    minmax_refine(level_graph, chi, level_w, ro, &wsr.refine);
-  }
+  // levels: coarse nodes are heavy, exactness comes at the end).  `lvl`
+  // tracks which graph chi currently colors (levels_[lvl - 1].graph, or
+  // the host graph at 0) so the degradation path below knows where the
+  // deadline interrupted the climb.
+  std::size_t lvl = levels_.size();
+  try {
+    while (lvl > 0) {
+      exec.check();  // level-edge checkpoint
+      chi = project_coloring(chi, levels_[lvl - 1].parent);
+      --lvl;
+      const Graph& level_graph = lvl == 0 ? *g_ : levels_[lvl - 1].graph;
+      const std::span<const double> level_w =
+          lvl == 0 ? w : std::span<const double>(levels_[lvl - 1].weights);
+      MinmaxRefineOptions ro;
+      ro.max_passes = options_.refine_passes_per_level;
+      ro.balance_slack = lvl == 0 ? 1.0 : 2.0;
+      ro.exec = exec;
+      minmax_refine(level_graph, chi, level_w, ro, &wsr.refine);
+    }
 
-  // Close the strict window at full resolution, through the persistent
-  // finest-level splitter (warm OrderingCache, shared pool).
-  if (options_.inner.k > 1) {
-    chi = binpack2(*g_, chi, w, fine_splitter(), nullptr, &wsr);
-    MinmaxRefineOptions ro;
-    ro.max_passes = options_.refine_passes_per_level;
-    minmax_refine(*g_, chi, w, ro, &wsr.refine);
+    // Close the strict window at full resolution, through the persistent
+    // finest-level splitter (warm OrderingCache, shared pool).
+    if (options_.inner.k > 1) {
+      exec.check();
+      chi = binpack2(*g_, chi, w, fine_splitter(), nullptr, &wsr);
+      MinmaxRefineOptions ro;
+      ro.max_passes = options_.refine_passes_per_level;
+      ro.exec = exec;
+      minmax_refine(*g_, chi, w, ro, &wsr.refine);
+    }
+  } catch (const DeadlineExceeded&) {
+    // Graceful degradation: the coarse level completed, so a best-effort
+    // answer exists.  Finish the projection to the finest level with no
+    // further refinement (projection preserves totality and the coarse
+    // balance, just not the strict Definition 1 window) and certify
+    // exactly what the caller is getting.  Cancellation is *not* caught:
+    // a cancelling caller wants out, not best-effort.
+    while (lvl > 0) {
+      chi = project_coloring(chi, levels_[lvl - 1].parent);
+      --lvl;
+    }
+    out.degraded = true;
+    ++stats_.degraded_calls;
+    diag_report(options_.inner.diagnostics, DiagEvent::DegradedResult,
+                "fast-mode deadline expired after the coarse level; "
+                "returning the projected best-effort coloring with a "
+                "certificate instead of throwing");
   }
 
   out.coloring = std::move(chi);
+  if (out.degraded) out.certificate = verify_decomposition(*g_, w, out.coloring);
   out.balance = balance_report(w, out.coloring);
   const auto bc = class_boundary_costs(*g_, out.coloring);
   out.max_boundary = norm_inf(bc);

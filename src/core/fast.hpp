@@ -23,6 +23,7 @@
 
 #include "core/context.hpp"
 #include "core/decompose.hpp"
+#include "core/verify.hpp"
 
 // Feature probe for sources (tools/bench_runner.cpp) that also compile
 // against trees predating the warm multilevel path.
@@ -48,6 +49,17 @@ struct FastResult {
   double avg_boundary = 0.0;
   int levels = 0;                ///< coarsening levels used
   double total_seconds = 0.0;
+  /// Graceful degradation: when inner.exec's deadline expires *after* the
+  /// coarse-level pipeline completed, the call does not throw — it
+  /// projects the best complete solution to the finest level (skipping
+  /// further refinement and the strict closing pass), sets this flag, and
+  /// fills `certificate` so the caller can see exactly which guarantees
+  /// the returned coloring still carries.  A deadline hit *during* the
+  /// coarse level (no complete solution exists) and a cancellation
+  /// (the caller wants out, not best-effort) still throw.
+  bool degraded = false;
+  /// verify_decomposition certificate; populated only when degraded.
+  VerifyReport certificate;
 };
 
 /// Instrumentation counters of a FastContext; the warm-path regression
@@ -57,6 +69,9 @@ struct FastContextStats {
   int coarsen_builds = 0;     ///< multilevel hierarchy (re)constructions
   int fine_splitter_builds = 0;  ///< finest-level splitter (re)constructions
   int pool_builds = 0;        ///< shared thread-pool (re)constructions
+  int pool_construct_failures = 0;  ///< pool builds that threw; degraded to
+                                    ///< serial (see DecomposeContextStats)
+  long degraded_calls = 0;    ///< decompose calls that returned degraded
 };
 
 /// Reusable fast-multilevel state bound to one graph.

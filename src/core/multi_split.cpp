@@ -160,6 +160,10 @@ TwoColoring multi_split_tree(const Graph& g, std::span<const Vertex> w_list,
   ts.split_cost.assign(static_cast<std::size_t>(leaves - 1), 0.0);
   std::vector<double>& split_cost = ts.split_cost;
   for (int l = 0; l < depth; ++l) {
+    // Batch-edge checkpoint on the orchestration thread: a deadline or
+    // cancel surfaces between batches (plus at every lane's split entry),
+    // never mid-merge, so the workspace stays reusable after the throw.
+    splitter.exec_control().check();
     const int count = 1 << l;
     const MeasureRef level_measure = measures[r - 1 - static_cast<std::size_t>(l)];
     pool.run(count, [&](int j) {
@@ -188,6 +192,7 @@ TwoColoring multi_split_tree(const Graph& g, std::span<const Vertex> w_list,
   // capacity and allocates nothing when warm.
   const std::span<const MeasureRef> rest =
       measures.first(r - static_cast<std::size_t>(depth));
+  splitter.exec_control().check();  // before the leaf batch
   ts.res.resize(static_cast<std::size_t>(leaves));
   std::vector<TwoColoring>& res = ts.res;
   pool.run(leaves, [&](int j) {

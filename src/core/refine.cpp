@@ -60,6 +60,7 @@ class Refiner {
   /// The original engine: full vertex sweeps until a pass accepts nothing.
   void run_sweep() {
     for (int pass = 0; pass < opt_.max_passes; ++pass) {
+      opt_.exec.check();  // pass-boundary checkpoint
       ++stats_.rounds;
       bool improved = false;
       for (Vertex v = 0; v < n_; ++v) improved |= try_move(v);
@@ -83,6 +84,7 @@ class Refiner {
     bool dense = false;       // carry dense mode across rounds while it pays
     bool have_cands = false;  // sparse rounds can reseed incrementally
     for (int round = 0; round < opt_.max_passes; ++round) {
+      opt_.exec.check();  // round-boundary checkpoint (cancel bound: 1 round)
       if (!dense) {
         // A vertex can only be boundary at this round's start if it was
         // boundary at the previous round's start or a neighbor moved in

@@ -26,6 +26,7 @@
 
 #include "core/workspace.hpp"
 #include "graph/coloring.hpp"
+#include "util/exec_control.hpp"
 
 namespace mmd {
 
@@ -44,6 +45,12 @@ struct MinmaxRefineOptions {
   /// (1.0 = strict balance; larger values explore the almost-strict room).
   double balance_slack = 1.0;
   RefineEngine engine = RefineEngine::Worklist;  ///< engine selection
+  /// Deadline/cancellation, checked at every round (worklist) or pass
+  /// (sweep) boundary — so a cancel request is honored within one round.
+  /// The coloring is left in a valid (strictly balanced, partially
+  /// refined) state when the check throws.  decompose() copies its own
+  /// exec here; standalone callers may set it directly.
+  ExecControl exec;
 };
 
 /// Work and progress counters of one minmax_refine call.

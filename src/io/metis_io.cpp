@@ -1,9 +1,55 @@
 #include "io/metis_io.hpp"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace mmd {
+
+namespace {
+
+// strtoll/strtod-based token parsers: unlike operator>>, they distinguish
+// "not a number" from "overflows" and never accept trailing garbage, so
+// every malformed token becomes a typed ParseError with its line number
+// instead of a silently misparsed graph.
+
+long long parse_ll(const std::string& tok, long line, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0')
+    throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
+  if (errno == ERANGE)
+    throw ParseError(line, std::string(what) + " '" + tok + "' overflows");
+  return v;
+}
+
+std::int32_t parse_i32(const std::string& tok, long line, const char* what) {
+  const long long v = parse_ll(tok, line, what);
+  if (v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max())
+    throw ParseError(line, std::string(what) + " '" + tok +
+                               "' overflows 32 bits");
+  return static_cast<std::int32_t>(v);
+}
+
+double parse_finite_double(const std::string& tok, long line,
+                           const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0')
+    throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
+  if (!std::isfinite(v))
+    throw ParseError(line, std::string(what) + " '" + tok +
+                               "' is not a finite value");
+  return v;
+}
+
+}  // namespace
 
 void write_metis(const Graph& g, std::span<const double> weights,
                  std::ostream& os) {
@@ -37,35 +83,63 @@ void write_metis_file(const Graph& g, std::span<const double> weights,
 }
 
 GraphWithWeights read_metis(std::istream& is) {
-  std::string line;
+  std::string line, tok;
+  long lineno = 0;
   int dim = 0;
   std::vector<std::int32_t> coords;
   // Comments and the optional coordinate block.
+  bool have_header = false;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    if (line[0] != '%') break;
+    if (line[0] != '%') {
+      have_header = true;
+      break;
+    }
     if (line.rfind("%coords", 0) == 0) {
       std::istringstream ls(line.substr(7));
-      ls >> dim;
-      MMD_REQUIRE(dim >= 1 && dim <= 16, "bad coordinate dimension");
+      if (!(ls >> tok))
+        throw ParseError(lineno, "%coords needs a dimension");
+      const long long d = parse_ll(tok, lineno, "coordinate dimension");
+      if (ls >> tok)
+        throw ParseError(lineno, "trailing tokens after %coords dimension");
+      if (d < 1 || d > 16)
+        throw ParseError(lineno, "coordinate dimension out of range [1, 16]");
+      dim = static_cast<int>(d);
     } else if (line.rfind("%c", 0) == 0 && dim > 0) {
       std::istringstream ls(line.substr(2));
-      std::int32_t x;
-      while (ls >> x) coords.push_back(x);
+      while (ls >> tok) coords.push_back(parse_i32(tok, lineno, "coordinate"));
     }
   }
+  if (!have_header)
+    throw ParseError(lineno + 1, "missing header line (n m [fmt])");
+  const long header_line = lineno;
   std::istringstream header(line);
-  long long n = 0, m = 0;
-  std::string fmt;
-  header >> n >> m >> fmt;
-  MMD_REQUIRE(n >= 0 && m >= 0, "bad METIS header");
-  MMD_REQUIRE(fmt == "011" || fmt.empty(), "unsupported METIS format flags");
+  std::string tn, tm, fmt;
+  if (!(header >> tn >> tm))
+    throw ParseError(header_line, "header needs vertex and edge counts");
+  header >> fmt;
+  if (header >> tok)
+    throw ParseError(header_line, "trailing tokens after header");
+  const long long n = parse_ll(tn, header_line, "vertex count");
+  const long long m = parse_ll(tm, header_line, "edge count");
+  if (n < 0) throw ParseError(header_line, "negative vertex count");
+  if (m < 0) throw ParseError(header_line, "negative edge count");
+  if (n > std::numeric_limits<Vertex>::max())
+    throw ParseError(header_line,
+                     "vertex count overflows the 32-bit vertex id space");
+  if (!fmt.empty() && fmt != "011")
+    throw ParseError(header_line,
+                     "unsupported METIS format flags '" + fmt + "' (only 011)");
 
   GraphBuilder builder(static_cast<Vertex>(n));
   std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
   if (dim > 0) {
-    MMD_REQUIRE(coords.size() == static_cast<std::size_t>(n) * dim,
-                "coordinate block arity mismatch");
+    if (static_cast<long long>(coords.size()) != n * dim)
+      throw ParseError(header_line,
+                       "coordinate block arity mismatch: expected " +
+                           std::to_string(n * dim) + " values, got " +
+                           std::to_string(coords.size()));
     for (Vertex v = 0; v < static_cast<Vertex>(n); ++v)
       builder.set_coords(
           v, std::span<const std::int32_t>(
@@ -75,14 +149,27 @@ GraphWithWeights read_metis(std::istream& is) {
 
   long long edges_seen = 0;
   for (Vertex v = 0; v < static_cast<Vertex>(n); ++v) {
-    MMD_REQUIRE(static_cast<bool>(std::getline(is, line)),
-                "unexpected end of METIS file");
+    if (!std::getline(is, line))
+      throw ParseError(lineno + 1, "unexpected end of file: expected " +
+                                       std::to_string(n) +
+                                       " adjacency lines, got " +
+                                       std::to_string(static_cast<long long>(v)));
+    ++lineno;
     std::istringstream ls(line);
-    ls >> weights[static_cast<std::size_t>(v)];
-    long long u;
-    double c;
-    while (ls >> u >> c) {
-      MMD_REQUIRE(u >= 1 && u <= n, "neighbor index out of range");
+    if (!(ls >> tok))
+      throw ParseError(lineno, "empty adjacency line: expected a vertex weight");
+    weights[static_cast<std::size_t>(v)] =
+        parse_finite_double(tok, lineno, "vertex weight");
+    while (ls >> tok) {
+      const long long u = parse_ll(tok, lineno, "neighbor id");
+      if (u < 1 || u > n)
+        throw ParseError(lineno, "neighbor id " + std::to_string(u) +
+                                     " out of range [1, " + std::to_string(n) +
+                                     "]");
+      if (!(ls >> tok))
+        throw ParseError(
+            lineno, "truncated adjacency list: neighbor id without an edge cost");
+      const double c = parse_finite_double(tok, lineno, "edge cost");
       const auto nb = static_cast<Vertex>(u - 1);
       if (nb > v) {  // each edge listed from both sides; add once
         builder.add_edge(v, nb, c);
@@ -90,7 +177,11 @@ GraphWithWeights read_metis(std::istream& is) {
       }
     }
   }
-  MMD_REQUIRE(edges_seen == m, "edge count mismatch in METIS file");
+  if (edges_seen != m)
+    throw ParseError(header_line, "edge count mismatch: header says " +
+                                      std::to_string(m) +
+                                      ", adjacency lists contain " +
+                                      std::to_string(edges_seen));
   return {builder.build(), std::move(weights)};
 }
 
@@ -114,10 +205,22 @@ Coloring read_partition(std::istream& is, int k) {
   MMD_REQUIRE(k >= 1, "k must be >= 1");
   Coloring chi;
   chi.k = k;
-  std::int32_t c;
-  while (is >> c) {
-    MMD_REQUIRE(c >= kUncolored && c < k, "color out of range in partition file");
-    chi.color.push_back(c);
+  std::string line, tok;
+  long lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    while (ls >> tok) {
+      // Token-strict: a non-numeric entry is a ParseError, not a silent
+      // early stop (operator>> would truncate the partition there).
+      const long long c = parse_ll(tok, lineno, "color");
+      if (c < kUncolored || c >= k)
+        throw ParseError(lineno, "color " + std::to_string(c) +
+                                     " out of range [" +
+                                     std::to_string(kUncolored) + ", " +
+                                     std::to_string(k - 1) + "]");
+      chi.color.push_back(static_cast<std::int32_t>(c));
+    }
   }
   return chi;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,26 @@
 #include "graph/graph.hpp"
 
 namespace mmd {
+
+/// Malformed input file.  Derives from std::invalid_argument (the library's
+/// bad-input type) and carries the 1-based line number of the offending
+/// line, already baked into what() — "METIS parse error at line N: ...".
+/// The readers throw this for every malformed-input condition (negative or
+/// overflowing counts, non-numeric tokens, out-of-range neighbor ids,
+/// truncated adjacency pairs, edge-count mismatches); no malformed file may
+/// crash, hang, or silently misparse.
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(long line, const std::string& what)
+      : std::invalid_argument("METIS parse error at line " +
+                              std::to_string(line) + ": " + what),
+        line_(line) {}
+  /// 1-based line number the error was detected on.
+  long line() const noexcept { return line_; }
+
+ private:
+  long line_;
+};
 
 struct GraphWithWeights {
   Graph graph;

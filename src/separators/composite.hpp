@@ -33,6 +33,7 @@ class CompositeSplitter final : public ISplitter {
   }
 
   SplitResult split(const SplitRequest& request) override {
+    split_entry_checkpoint();
     if (thread_pool() != nullptr && children_.size() >= 2) {
       results_.resize(children_.size());
       ThreadPool& pool = *thread_pool();
@@ -85,6 +86,12 @@ class CompositeSplitter final : public ISplitter {
  protected:
   void on_thread_pool_changed(ThreadPool* pool) override {
     for (const auto& child : children_) child->set_thread_pool(pool);
+  }
+  void on_exec_control_changed(const ExecControl& exec) override {
+    for (const auto& child : children_) child->set_exec_control(exec);
+  }
+  void on_diagnostics_changed(DecomposeDiagnostics* diag) override {
+    for (const auto& child : children_) child->set_diagnostics(diag);
   }
 
  private:

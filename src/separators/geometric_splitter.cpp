@@ -42,6 +42,7 @@ std::vector<Vertex> order_by_key(std::span<const Vertex> w_list,
 }  // namespace
 
 SplitResult GeometricSplitter::split(const SplitRequest& request) {
+  split_entry_checkpoint();
   MMD_REQUIRE(request.g != nullptr, "null graph in split request");
   const Graph& g = *request.g;
   MMD_REQUIRE(g.has_coords(), "GeometricSplitter needs coordinates");

@@ -297,6 +297,7 @@ class GridSplitRec {
 };
 
 SplitResult GridSplitter::split(const SplitRequest& request) {
+  split_entry_checkpoint();
   MMD_REQUIRE(request.g != nullptr, "null graph in split request");
   const Graph& g = *request.g;
   MMD_REQUIRE(g.has_coords(), "GridSplitter needs coordinates");

@@ -11,6 +11,7 @@
 namespace mmd {
 
 SplitResult PrefixSplitter::split(const SplitRequest& request) {
+  split_entry_checkpoint();
   MMD_REQUIRE(request.g != nullptr, "null graph in split request");
   const Graph& g = *request.g;
   in_w_.ensure(g.num_vertices());
@@ -49,6 +50,7 @@ SplitResult PrefixSplitter::split(const SplitRequest& request) {
   } else {
     bool have_best = false;
     auto consider = [&](std::span<const Vertex> order) {
+      exec_control().check();  // candidate-boundary checkpoint
       // One fused scan per candidate; once an incumbent exists, a
       // candidate whose partial cost already reaches it is abandoned
       // (it could never win the strictly-cheaper comparison below).

@@ -168,6 +168,7 @@ SplitResult split_via_separations(const Graph& g, std::span<const Vertex> w_list
 }
 
 SplitResult SeparationSplitter::split(const SplitRequest& request) {
+  split_entry_checkpoint();
   const Graph& g = *request.g;
   SeparationOracle oracle = [&](std::span<const Vertex> w_list,
                                 std::span<const double> weights) {

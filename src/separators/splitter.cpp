@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
 namespace mmd {
 
@@ -16,25 +15,41 @@ ISplitter* ISplitter::lane(int i) {
       return nullptr;
     }
     lane->set_thread_pool(pool_);
+    lane->set_exec_control(exec_);
+    lane->set_diagnostics(diag_);
     lanes_.push_back(std::move(lane));
   }
   return lanes_[static_cast<std::size_t>(i)].get();
+}
+
+void ISplitter::set_exec_control(const ExecControl& exec) {
+  exec_ = exec;
+  // Cached lanes survive an exec change (unlike a pool change, nothing in
+  // them goes stale) but must observe the new deadline/token.
+  for (const auto& lane : lanes_) lane->set_exec_control(exec);
+  on_exec_control_changed(exec);
+}
+
+void ISplitter::set_diagnostics(DecomposeDiagnostics* diag) {
+  diag_ = diag;
+  for (const auto& lane : lanes_) lane->set_diagnostics(diag);
+  on_diagnostics_changed(diag);
 }
 
 bool ISplitter::ensure_lanes(int count) {
   if (count <= 0) return true;
   if (lane(count - 1) != nullptr) return true;
   // Lanes unsupported.  With a pool wired in the caller clearly intended
-  // to fork, so say so — once per splitter instance, not per split —
+  // to fork, so report it — once per splitter instance, not per split —
   // instead of letting a missing make_lane override silently serialize
-  // every multi_split and read as a performance regression.
-  if (pool_ != nullptr && !lane_warning_emitted_) {
-    lane_warning_emitted_ = true;
-    std::fprintf(stderr,
-                 "mmd: splitter '%s' does not implement make_lane(); "
-                 "multi_split falls back to the serial recursion despite "
-                 "a thread pool being set\n",
-                 name().c_str());
+  // every multi_split and read as a performance regression.  Counter +
+  // optional callback, never stderr: the embedding process owns its logs.
+  if (pool_ != nullptr && !lane_fallback_reported_) {
+    lane_fallback_reported_ = true;
+    diag_report(diag_, DiagEvent::LanelessFallback,
+                "splitter does not implement make_lane(); multi_split "
+                "falls back to the serial recursion despite a thread pool "
+                "being set");
   }
   return false;
 }

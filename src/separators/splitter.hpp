@@ -25,6 +25,8 @@
 
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
+#include "util/diagnostics.hpp"
+#include "util/exec_control.hpp"
 
 namespace mmd {
 
@@ -95,10 +97,12 @@ class ISplitter {
 
   /// Materialize lanes 0..count-1 eagerly (orchestration thread only) and
   /// report whether the implementation supports them.  When lanes are
-  /// unsupported while a pool is wired in, this logs a one-time warning to
-  /// stderr instead of silently serializing: a splitter that forgot to
-  /// override make_lane must not masquerade as a perf regression.  Callers
-  /// (multi_split's lane tree) fall back to the serial recursion on false.
+  /// unsupported while a pool is wired in, this reports a one-time
+  /// LanelessFallback diagnostic (counter + optional callback, never
+  /// stderr — library code does not own the process's logs) instead of
+  /// silently serializing: a splitter that forgot to override make_lane
+  /// must not masquerade as a perf regression.  Callers (multi_split's
+  /// lane tree) fall back to the serial recursion on false.
   bool ensure_lanes(int count);
 
   /// Depth of multi_split's fork-join lane tree: recursion levels
@@ -113,18 +117,52 @@ class ISplitter {
   void set_fork_depth(int depth) { fork_depth_ = depth; }
   int fork_depth() const { return fork_depth_; }
 
+  /// Execution control consulted at every split() entry (and at the
+  /// candidate boundaries of splitters that have them).  Stored by value —
+  /// ExecControl is a (time_point, token pointer) pair — and propagated to
+  /// existing and future lanes, so a deadline armed on the parent bounds
+  /// the whole lane tree.  Stamped per call by decompose()/the contexts;
+  /// like the pool, phases between splits (multi_split's batch edges)
+  /// reach it through the splitter instead of plumbing options through
+  /// every recursion.
+  void set_exec_control(const ExecControl& exec);
+  const ExecControl& exec_control() const { return exec_; }
+
+  /// Borrowed diagnostics sink (nullptr = count nowhere); propagated to
+  /// lanes like the exec control.  See util/diagnostics.hpp.
+  void set_diagnostics(DecomposeDiagnostics* diag);
+  DecomposeDiagnostics* diagnostics() const { return diag_; }
+
  protected:
   /// Hook for implementations that forward the pool (composite children)
   /// or cache it in a different shape; the base class has already stored
   /// `pool` and dropped stale lanes when this runs.
   virtual void on_thread_pool_changed(ThreadPool* pool) { (void)pool; }
 
+  /// Hooks mirroring on_thread_pool_changed for the exec control and the
+  /// diagnostics sink (composite forwards both to its children).
+  virtual void on_exec_control_changed(const ExecControl& exec) { (void)exec; }
+  virtual void on_diagnostics_changed(DecomposeDiagnostics* diag) {
+    (void)diag;
+  }
+
+  /// Call at the top of every split() implementation: the deterministic
+  /// fault-injection site (splitter-fault plans) followed by the exec
+  /// checkpoint.  Throws fault::InjectedFault / Cancelled /
+  /// DeadlineExceeded; otherwise has no effect on the computation.
+  void split_entry_checkpoint() const {
+    if (fault::enabled()) fault::on_split();
+    exec_.check();
+  }
+
  private:
   ThreadPool* pool_ = nullptr;
   int fork_depth_ = 0;
+  ExecControl exec_;
+  DecomposeDiagnostics* diag_ = nullptr;
   std::vector<std::unique_ptr<ISplitter>> lanes_;
   bool lanes_unsupported_ = false;
-  bool lane_warning_emitted_ = false;
+  bool lane_fallback_reported_ = false;
 };
 
 /// Verify the hard weight-window postcondition; throws InvariantViolation

@@ -1,0 +1,95 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+
+namespace mmd::fault {
+
+namespace {
+
+// -1 target = plan disarmed.  Counters only advance while armed, so the
+// "N-th site after arming" indexing is exact for serial runs and exact up
+// to schedule for concurrent lanes.
+std::atomic<bool> g_enabled{false};
+std::atomic<long> g_alloc_target{-1};
+std::atomic<long> g_alloc_count{0};
+std::atomic<long> g_split_target{-1};
+std::atomic<long> g_split_count{0};
+std::atomic<long> g_ckpt_target{-1};
+std::atomic<long> g_ckpt_count{0};
+std::atomic<CheckpointFault> g_ckpt_kind{CheckpointFault::None};
+
+void refresh_enabled() {
+  g_enabled.store(g_alloc_target.load(std::memory_order_relaxed) >= 0 ||
+                      g_split_target.load(std::memory_order_relaxed) >= 0 ||
+                      g_ckpt_target.load(std::memory_order_relaxed) >= 0,
+                  std::memory_order_release);
+}
+
+}  // namespace
+
+void arm_alloc_failure(long nth) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_target.store(nth, std::memory_order_relaxed);
+  refresh_enabled();
+}
+
+void arm_splitter_fault(long nth) {
+  g_split_count.store(0, std::memory_order_relaxed);
+  g_split_target.store(nth, std::memory_order_relaxed);
+  refresh_enabled();
+}
+
+void arm_checkpoint_fault(long nth, CheckpointFault kind) {
+  g_ckpt_count.store(0, std::memory_order_relaxed);
+  g_ckpt_kind.store(kind, std::memory_order_relaxed);
+  g_ckpt_target.store(nth, std::memory_order_relaxed);
+  refresh_enabled();
+}
+
+void disarm() {
+  g_alloc_target.store(-1, std::memory_order_relaxed);
+  g_split_target.store(-1, std::memory_order_relaxed);
+  g_ckpt_target.store(-1, std::memory_order_relaxed);
+  g_ckpt_kind.store(CheckpointFault::None, std::memory_order_relaxed);
+  refresh_enabled();
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_acquire); }
+
+long checkpoints_seen() noexcept {
+  return g_ckpt_count.load(std::memory_order_relaxed);
+}
+
+long splits_seen() noexcept {
+  return g_split_count.load(std::memory_order_relaxed);
+}
+
+long allocs_seen() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool should_fail_alloc() noexcept {
+  if (!enabled()) return false;
+  const long target = g_alloc_target.load(std::memory_order_relaxed);
+  if (target < 0) return false;
+  return g_alloc_count.fetch_add(1, std::memory_order_relaxed) == target;
+}
+
+void on_split() {
+  if (!enabled()) return;
+  const long target = g_split_target.load(std::memory_order_relaxed);
+  if (target < 0) return;
+  if (g_split_count.fetch_add(1, std::memory_order_relaxed) == target)
+    throw InjectedFault("injected splitter fault (util/fault.hpp)");
+}
+
+CheckpointFault on_checkpoint() noexcept {
+  if (!enabled()) return CheckpointFault::None;
+  const long target = g_ckpt_target.load(std::memory_order_relaxed);
+  if (target < 0) return CheckpointFault::None;
+  if (g_ckpt_count.fetch_add(1, std::memory_order_relaxed) == target)
+    return g_ckpt_kind.load(std::memory_order_relaxed);
+  return CheckpointFault::None;
+}
+
+}  // namespace mmd::fault

@@ -1,0 +1,85 @@
+// Deterministic fault injection for the decompose stack.
+//
+// Production code must fail *typed* and leave warm state (contexts,
+// splitters, workspaces, pools) reusable.  Proving that needs a way to
+// force failures at exact, reproducible points — which this framework
+// provides as three seeded injection plans:
+//
+//   * allocation failure: the N-th allocation after arming throws
+//     std::bad_alloc.  The library itself never overrides operator new;
+//     test binaries install a counting allocator (the same shim the
+//     steady-state allocation pins use) that consults should_fail_alloc().
+//   * splitter fault: the N-th ISplitter::split entry after arming throws
+//     InjectedFault — the stand-in for "a lane task threw", exercising the
+//     exception-safe fork-join path end to end.
+//   * checkpoint fault: the N-th ExecControl checkpoint after arming
+//     reports a cancellation or a deadline hit, so the cooperative
+//     cancellation/deadline machinery is testable without wall-clock races.
+//
+// The plans are process-global and armed only by tests: arm before a call,
+// disarm after.  Counters are atomic, so faults inject correctly into
+// fork-join lane tasks (which of the concurrent sites is "the N-th" is
+// then schedule-dependent; the harness only asserts the outcome contract —
+// typed error or bitwise-correct result, warm reuse afterwards — which is
+// schedule-independent).  When nothing is armed every hook is one relaxed
+// atomic load, cheap enough to stay compiled in for all build types.
+#pragma once
+
+#include <stdexcept>
+
+namespace mmd::fault {
+
+/// Thrown by an armed splitter-fault plan.  Runtime error, not logic
+/// error: the injected failure models an environmental fault, and callers
+/// (the fuzz harness, servers) must treat it as retryable.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What an armed checkpoint plan injects at its target checkpoint.
+enum class CheckpointFault {
+  None,      ///< no plan armed / target not reached
+  Cancel,    ///< behave as if the caller's CancelToken fired
+  Deadline,  ///< behave as if the steady-clock deadline passed
+};
+
+// ---- arming (tests only; arm before the call under test, disarm after) --
+
+/// The `nth` (0-based) allocation observed after arming fails.
+void arm_alloc_failure(long nth);
+/// The `nth` (0-based) ISplitter::split entry after arming throws
+/// InjectedFault.
+void arm_splitter_fault(long nth);
+/// The `nth` (0-based) ExecControl checkpoint after arming reports `kind`.
+void arm_checkpoint_fault(long nth, CheckpointFault kind);
+/// Clear every plan and reset all counters.
+void disarm();
+
+/// True while any plan is armed (relaxed; the fast-path gate).
+bool enabled() noexcept;
+
+/// Checkpoints counted since the last arm (diagnostic: lets a harness
+/// probe how many checkpoints a call performs by arming an unreachable
+/// target).
+long checkpoints_seen() noexcept;
+/// Splitter entries counted since the last arm (same diagnostic role).
+long splits_seen() noexcept;
+/// Allocations counted since the last arm (same diagnostic role; only
+/// advances in binaries that install the counting-allocator shim).
+long allocs_seen() noexcept;
+
+// ---- hooks (called by library code / test allocator shims) --------------
+
+/// Consulted by test-installed operator new: true exactly once, at the
+/// armed allocation index.  noexcept and allocation-free by construction.
+bool should_fail_alloc() noexcept;
+
+/// Splitter-entry hook; throws InjectedFault at the armed index.
+void on_split();
+
+/// Checkpoint hook; reports the armed fault at the armed index (the caller
+/// — ExecControl::check — turns it into the typed exception).
+CheckpointFault on_checkpoint() noexcept;
+
+}  // namespace mmd::fault

@@ -11,8 +11,21 @@ bool ThreadPool::on_worker_thread() { return tls_on_worker; }
 ThreadPool::ThreadPool(int num_threads) {
   const int workers = num_threads - 1;
   workers_.reserve(workers > 0 ? static_cast<std::size_t>(workers) : 0);
-  for (int i = 0; i < workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (int i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    // Thread exhaustion / allocation failure mid-spawn: stop and join the
+    // workers that did start before the exception escapes — a half-built
+    // pool must never reach ~thread() joinable and terminate the process.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    throw;
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -42,8 +55,14 @@ void ThreadPool::work(const std::function<void(int)>* fn, int count,
     try {
       (*fn)(i);
     } catch (...) {
+      // Lowest task index wins, independent of arrival order: the serial
+      // loop would have surfaced exactly that exception, so fork-join
+      // failure is as deterministic as fork-join success.
       std::lock_guard<std::mutex> lock(mu_);
-      if (!error_) error_ = std::current_exception();
+      if (!error_ || i < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = i;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -89,6 +108,7 @@ void ThreadPool::run(int count, const std::function<void(int)>& fn) {
     next_ = 0;
     done_ = 0;
     error_ = nullptr;
+    error_index_ = count;  // sentinel above any real task index
     batch = ++batch_;
   }
   cv_work_.notify_all();

@@ -40,6 +40,13 @@ class ThreadPool {
   /// A pool of `num_threads` execution lanes: the caller of run() plus
   /// max(0, num_threads - 1) parked worker threads.  num_threads <= 1
   /// spawns nothing and run() is the plain serial loop.
+  ///
+  /// Construction is exception-safe: if spawning worker j throws
+  /// (std::system_error on thread exhaustion, std::bad_alloc), workers
+  /// 0..j-1 are stopped and joined before the exception escapes — never a
+  /// terminate() from a half-built pool.  Callers that can degrade (the
+  /// contexts) catch this and fall back to serial execution, reporting
+  /// PoolConstructFailed on their diagnostics sink.
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
@@ -50,8 +57,18 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Invoke fn(i) once for every i in [0, count), on this thread and the
-  /// workers; returns when all invocations completed.  Exceptions thrown
-  /// by fn are rethrown on the calling thread (first one wins).
+  /// workers; returns when all invocations completed — including when some
+  /// invocations throw: every claimed index is always counted done
+  /// (try/catch around the task body), so a throwing task can never wedge
+  /// the batch-generation claim guard or leave a stale lane running into
+  /// the next batch.
+  ///
+  /// Exceptions thrown by fn are rethrown on the calling thread once the
+  /// whole batch has drained, and deterministically so: when several tasks
+  /// throw, the exception of the *lowest task index* wins, independent of
+  /// the schedule (the fork-join analogue of the serial loop, which would
+  /// have surfaced exactly that one).  After the rethrow the pool is fully
+  /// reusable — the next run() starts from clean batch state.
   void run(int count, const std::function<void(int)>& fn);
 
   /// True on a thread currently executing a pooled task (nested run()
@@ -73,6 +90,7 @@ class ThreadPool {
   std::uint64_t batch_ = 0;  // generation counter; bumping wakes workers
   bool stop_ = false;
   std::exception_ptr error_;
+  int error_index_ = 0;  // task index of error_ (lowest index wins)
 };
 
 }  // namespace mmd

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# CLI smoke test for mmd_partition: pins the documented exit-code contract
+# (tools/mmd_partition.cpp header) and the verify-before-write rule.
+#
+#   0  strictly balanced partition produced
+#   2  bad input (unreadable / malformed graph file, bad usage)
+#   3  deadline exceeded or cancelled (--timeout-ms)
+#
+# Usage: cli_smoke.sh <path-to-mmd_partition>
+set -u
+
+bin="${1:?usage: cli_smoke.sh <mmd_partition>}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+check() {  # check <name> <expected-exit> <actual-exit>
+  if [ "$3" -ne "$2" ]; then
+    echo "FAIL: $1: expected exit $2, got $3" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $1 (exit $3)"
+  fi
+}
+
+# A well-formed 3x3 grid-ish graph: 9 vertices, 12 edges, weights+costs.
+good="$tmp/good.graph"
+{
+  echo "9 12 011"
+  echo "1.0 2 1.0 4 1.0"
+  echo "1.0 1 1.0 3 1.0 5 1.0"
+  echo "1.0 2 1.0 6 1.0"
+  echo "1.0 1 1.0 5 1.0 7 1.0"
+  echo "1.0 2 1.0 4 1.0 6 1.0 8 1.0"
+  echo "1.0 3 1.0 5 1.0 9 1.0"
+  echo "1.0 4 1.0 8 1.0"
+  echo "1.0 5 1.0 7 1.0 9 1.0"
+  echo "1.0 6 1.0 8 1.0"
+} > "$good"
+
+# 1. Good input, quiet run -> exit 0 and the partition file appears.
+"$bin" -k 3 --quiet -o "$tmp/out.part" "$good"
+check "good input" 0 $?
+[ -s "$tmp/out.part" ] || { echo "FAIL: no partition written" >&2; fails=$((fails + 1)); }
+
+# 2. Good input with --verify -> still 0 (certificate passes).
+"$bin" -k 3 --quiet --verify -o "$tmp/out2.part" "$good"
+check "good input --verify" 0 $?
+
+# 3. Missing file -> exit 2.
+"$bin" -k 3 --quiet "$tmp/nope.graph" 2> /dev/null
+check "missing file" 2 $?
+
+# 4. Malformed file (non-numeric weight) -> exit 2, and the ParseError
+#    message names the offending line.
+bad="$tmp/bad.graph"
+printf '2 1 011\nheavy 2 1.0\n1.0 1 1.0\n' > "$bad"
+err="$("$bin" -k 2 --quiet "$bad" 2>&1 > /dev/null)"
+check "malformed file" 2 $?
+case "$err" in
+  *"line 2"*) echo "ok: parse error names line 2" ;;
+  *) echo "FAIL: parse error lacks line number: $err" >&2; fails=$((fails + 1)) ;;
+esac
+
+# 5. Bad usage (k missing) -> exit 2.
+"$bin" --quiet "$good" 2> /dev/null
+check "bad usage" 2 $?
+
+# 6. Expired deadline -> exit 3, and verify-before-write means no output
+#    file may appear.
+"$bin" -k 3 --quiet --timeout-ms 0 -o "$tmp/late.part" "$good" 2> /dev/null
+check "expired deadline" 3 $?
+[ -e "$tmp/late.part" ] && { echo "FAIL: deadline run wrote output" >&2; fails=$((fails + 1)); }
+
+# 7. Deadline in fast mode -> exit 3 as well (degraded or thrown, never 0).
+"$bin" -k 3 --fast --quiet --timeout-ms 0 -o "$tmp/fast.part" "$good" 2> /dev/null
+check "expired deadline --fast" 3 $?
+
+# 8. Threaded + fork-depth run stays exit 0 (bit-identical stack).
+"$bin" -k 3 --threads 4 --fork-depth 2 --quiet -o "$tmp/thr.part" "$good"
+check "threads=4 fork-depth=2" 0 $?
+cmp -s "$tmp/out.part" "$tmp/thr.part" || {
+  echo "FAIL: threaded partition differs from serial" >&2
+  fails=$((fails + 1))
+}
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails smoke check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI smoke checks passed"

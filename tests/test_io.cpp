@@ -69,6 +69,87 @@ TEST(MetisIo, RejectsBadNeighborIndex) {
   EXPECT_THROW(read_metis(ss), std::invalid_argument);
 }
 
+// ---- malformed-file corpus -------------------------------------------------
+// Every entry must produce a typed ParseError carrying the 1-based line
+// number of the offending line — never a crash, a hang, a std::bad_alloc
+// from a bogus count, or a silently misparsed graph.
+
+struct MalformedCase {
+  const char* name;
+  const char* text;
+  long line;  ///< expected ParseError::line()
+};
+
+class MetisIoMalformed : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MetisIoMalformed, ThrowsParseErrorWithLineNumber) {
+  const MalformedCase& c = GetParam();
+  std::stringstream ss(c.text);
+  try {
+    (void)read_metis(ss);
+    FAIL() << c.name << ": expected ParseError, parsed successfully";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), c.line) << c.name << ": " << e.what();
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MetisIoMalformed,
+    ::testing::Values(
+        MalformedCase{"empty_file", "", 1},
+        MalformedCase{"comments_only", "% hi\n% there\n", 3},
+        MalformedCase{"negative_n", "-2 1 011\n", 1},
+        MalformedCase{"negative_m", "2 -1 011\n1.0\n1.0\n", 1},
+        MalformedCase{"overflowing_n",
+                      "99999999999999999999 1 011\n", 1},
+        MalformedCase{"n_beyond_vertex_ids", "4294967296 0 011\n", 1},
+        MalformedCase{"non_numeric_n", "two 1 011\n", 1},
+        MalformedCase{"non_numeric_m", "2 one 011\n", 1},
+        MalformedCase{"bad_format_flags", "2 1 123\n1.0 2 1.0\n1.0 1 1.0\n", 1},
+        MalformedCase{"trailing_header_tokens",
+                      "2 1 011 zzz\n1.0 2 1.0\n1.0 1 1.0\n", 1},
+        MalformedCase{"non_numeric_weight", "2 1 011\nheavy 2 1.0\n1.0 1 1.0\n",
+                      2},
+        MalformedCase{"nan_weight", "2 1 011\nnan 2 1.0\n1.0 1 1.0\n", 2},
+        MalformedCase{"non_numeric_neighbor",
+                      "2 1 011\n1.0 x 1.0\n1.0 1 1.0\n", 2},
+        MalformedCase{"neighbor_zero", "2 1 011\n1.0 0 1.0\n1.0 1 1.0\n", 2},
+        MalformedCase{"neighbor_too_large",
+                      "2 1 011\n1.0 2 1.0\n1.0 7 1.0\n", 3},
+        MalformedCase{"truncated_pair", "2 1 011\n1.0 2\n1.0 1 1.0\n", 2},
+        MalformedCase{"non_numeric_cost",
+                      "2 1 011\n1.0 2 cheap\n1.0 1 1.0\n", 2},
+        MalformedCase{"infinite_cost",
+                      "2 1 011\n1.0 2 inf\n1.0 1 1.0\n", 2},
+        MalformedCase{"missing_vertex_line", "3 1 011\n1.0 2 1.0\n1.0 1 1.0\n",
+                      4},
+        MalformedCase{"empty_adjacency_line", "2 1 011\n\n1.0 1 1.0\n", 2},
+        MalformedCase{"edge_count_mismatch",
+                      "2 2 011\n1.0 2 1.0\n1.0 1 1.0\n", 1},
+        MalformedCase{"bad_coord_dimension", "%coords 99\n1 0 011\n1.0\n", 1},
+        MalformedCase{"non_numeric_coord_dimension",
+                      "%coords two\n1 0 011\n1.0\n", 1},
+        MalformedCase{"non_numeric_coordinate",
+                      "%coords 2\n%c 0 zero\n1 0 011\n1.0\n", 2},
+        MalformedCase{"coord_arity_mismatch",
+                      "%coords 2\n%c 0 0\n2 1 011\n1.0 2 1.0\n1.0 1 1.0\n", 3}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+TEST(PartitionIo, RejectsNonNumericColorWithLineNumber) {
+  // operator>>-style parsing would silently truncate here; the hardened
+  // reader reports the exact line instead.
+  std::stringstream ss("0\n1\nbanana\n");
+  try {
+    (void)read_partition(ss, 3);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
 TEST(PartitionIo, RoundTrip) {
   Coloring chi(3, 5);
   chi.color = {0, 1, 2, 1, 0};

@@ -234,12 +234,28 @@ TEST(MultiSplitThreads, LanelessSplitterFallsBackToSerialExplicitly) {
   ThreadPool pool(4);
   LanelessSplitter splitter;
   splitter.set_thread_pool(&pool);
+  // The fallback must be *observable*: a diagnostics sink wired onto the
+  // splitter counts exactly one LanelessFallback (once per splitter, not
+  // per call), and the callback sees the event; stderr stays untouched
+  // (the library never writes there).
+  DecomposeDiagnostics diag;
+  int callback_events = 0;
+  diag.callback = [&](DiagEvent event, const char* message) {
+    EXPECT_EQ(event, DiagEvent::LanelessFallback);
+    EXPECT_NE(message, nullptr);
+    ++callback_events;
+  };
+  splitter.set_diagnostics(&diag);
   EXPECT_FALSE(splitter.ensure_lanes(4));
+  EXPECT_EQ(diag.laneless_fallbacks.load(), 1);
+  EXPECT_EQ(callback_events, 1);
   DecomposeWorkspace ws;
   const TwoColoring par = multi_split(g, vs, refs, splitter, &ws);
   EXPECT_EQ(par.side[0], serial.side[0]);
   EXPECT_EQ(par.side[1], serial.side[1]);
   EXPECT_EQ(par.cut_cost, serial.cut_cost);
+  // multi_split's own ensure_lanes round does not re-report.
+  EXPECT_EQ(diag.laneless_fallbacks.load(), 1);
 }
 
 // ---- steady-state allocation behavior ----------------------------------

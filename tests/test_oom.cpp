@@ -1,0 +1,130 @@
+// Out-of-memory robustness: every single allocation of a cold decompose
+// is made to fail, one index at a time, and each run must either throw a
+// clean std::bad_alloc (nothing torn, no invariant tripped, no crash) or
+// — when the index lies beyond that run's allocations — succeed with the
+// exact reference coloring.  After every injected failure, an immediately
+// following clean decompose must succeed and match the reference, which
+// is what "exception safety" means operationally for this library.
+//
+// The binary counts allocations itself (like test_prefix_split_alloc.cpp)
+// and consults the fault plan: the library never overrides operator new.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/context.hpp"
+#include "core/decompose.hpp"
+#include "gen/grid.hpp"
+#include "test_helpers.hpp"
+#include "util/fault.hpp"
+
+// ---- counting, fault-consulting allocator (test binary only) ---------------
+
+namespace {
+std::atomic<long> g_new_calls{0};
+}
+
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (mmd::fault::should_fail_alloc()) throw std::bad_alloc();
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (mmd::fault::should_fail_alloc()) throw std::bad_alloc();
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mmd {
+namespace {
+
+class Oom : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(Oom, EveryAllocationIndexOfAColdDecomposeFailsCleanly) {
+  const Graph g = make_grid_cube(2, 4);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 41);
+  DecomposeOptions opt;
+  opt.k = 3;
+
+  // Reference answer and the allocation count of one cold serial call
+  // (deterministic: same instance, same options, fresh context each time).
+  const DecomposeResult reference = decompose(g, w, opt);
+  const long before = g_new_calls.load();
+  const DecomposeResult probe = decompose(g, w, opt);
+  const long total = g_new_calls.load() - before;
+  ASSERT_EQ(probe.coloring.color, reference.coloring.color);
+  ASSERT_GT(total, 0);
+
+  // Every in-range index, plus a couple beyond the (deterministic) cold
+  // allocation count — those must not fire and must leave the result
+  // untouched, proving the counting itself perturbs nothing.
+  long failed = 0, completed = 0;
+  for (long i = 0; i < total + 2; ++i) {
+    fault::arm_alloc_failure(i);
+    try {
+      const DecomposeResult res = decompose(g, w, opt);
+      fault::disarm();
+      EXPECT_EQ(res.coloring.color, reference.coloring.color) << "i=" << i;
+      ++completed;
+    } catch (const std::bad_alloc&) {
+      fault::disarm();
+      ++failed;
+      // Clean retry right after the failure.
+      const DecomposeResult retry = decompose(g, w, opt);
+      ASSERT_EQ(retry.coloring.color, reference.coloring.color)
+          << "retry diverged after injected OOM at allocation " << i;
+    }
+    // Any other exception (InvariantViolation above all) escapes and
+    // fails the test: OOM must never surface as a library bug.
+  }
+  EXPECT_GT(failed, 0) << "no allocation index actually fired?";
+  EXPECT_GT(completed, 0) << "expected some indices beyond the cold run";
+}
+
+TEST_F(Oom, WarmContextSurvivesOomAndStaysBitIdentical) {
+  // The warm path has far fewer allocation sites (that is what the
+  // steady-state allocation pins are about) — fail each of them too, on
+  // one long-lived context, and require bit-identical results afterwards.
+  const Graph g = make_grid_cube(2, 4);
+  const auto w = testing::weights_for(g, WeightModel::Uniform, 41);
+  DecomposeOptions opt;
+  opt.k = 3;
+
+  DecomposeContext ctx(g, opt);
+  const DecomposeResult reference = ctx.decompose(w);
+  (void)ctx.decompose(w);  // reach allocation steady state
+  const long before = g_new_calls.load();
+  (void)ctx.decompose(w);
+  const long warm_total = g_new_calls.load() - before;
+
+  long failed = 0;
+  for (long i = 0; i < warm_total; ++i) {
+    fault::arm_alloc_failure(i);
+    try {
+      const DecomposeResult res = ctx.decompose(w);
+      fault::disarm();
+      EXPECT_EQ(res.coloring.color, reference.coloring.color) << "i=" << i;
+    } catch (const std::bad_alloc&) {
+      fault::disarm();
+      ++failed;
+      const DecomposeResult retry = ctx.decompose(w);
+      ASSERT_EQ(retry.coloring.color, reference.coloring.color)
+          << "warm retry diverged after injected OOM at allocation " << i;
+    }
+  }
+  EXPECT_GT(failed, 0);
+}
+
+}  // namespace
+}  // namespace mmd

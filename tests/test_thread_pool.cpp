@@ -121,6 +121,35 @@ TEST(ThreadPoolStress, ExceptionStormLeavesThePoolReusable) {
   }
 }
 
+TEST(ThreadPoolStress, LowestTaskIndexWinsWhenSeveralTasksThrow) {
+  // Deterministic error propagation: when multiple tasks of one batch
+  // throw, run() must rethrow the exception of the lowest task index —
+  // exactly the one the serial loop would have surfaced — independent of
+  // which lane reported first.  Tasks throw their own index so the test
+  // can see which exception escaped.
+  ThreadPool pool(4);
+  for (int round = 0; round < 300; ++round) {
+    const int lowest = round % 3;  // three throwing tasks: lowest, +3, +6
+    try {
+      pool.run(12, [&](int i) {
+        if (i == lowest + 6) throw std::runtime_error(std::to_string(i));
+        if (i == lowest + 3) throw std::runtime_error(std::to_string(i));
+        if (i == lowest) {
+          std::this_thread::yield();  // invite the higher indices to race
+          throw std::runtime_error(std::to_string(i));
+        }
+      });
+      FAIL() << "round " << round << ": batch did not throw";
+    } catch (const std::runtime_error& e) {
+      ASSERT_STREQ(e.what(), std::to_string(lowest).c_str())
+          << "round " << round;
+    }
+    std::atomic<int> ok{0};  // crash-only contract: pool reusable after
+    pool.run(5, [&](int) { ++ok; });
+    ASSERT_EQ(ok.load(), 5) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolStress, PoolRebuildStorm) {
   // The DecomposeContext reconcile path tears a pool down and builds a
   // wider one whenever num_threads changes; a storm of that must neither

@@ -9,13 +9,25 @@
 //   --splitter <name>  auto | prefix | grid     (default auto)
 //   --threads <n>      thread-pool lanes (1 = serial; bit-identical)
 //   --fork-depth <d>   multi_split lane-tree depth (0 = from --threads)
+//   --timeout-ms <ms>  deadline for the decomposition (DeadlineExceeded
+//                      -> exit 3; in --fast mode a deadline that expires
+//                      after the coarse level returns a degraded
+//                      best-effort partition instead, still exit 3)
+//   --verify           check the verify.cpp certificate BEFORE writing any
+//                      output; a failed certificate writes nothing
 //   --image <path>     render the partition as a PPM (2-D instances)
 //   --compare          also run greedy / recursive-bisection baselines
 //   --quiet            suppress the report table
 //
 // The input is the METIS-like format of io/metis_io.hpp (vertex weights +
-// edge costs; optional %coords block).  Exit status: 0 iff the output is
-// strictly balanced.
+// edge costs; optional %coords block).
+//
+// Exit-code contract (stable; scripts may rely on it):
+//   0  strictly balanced partition produced (and verified, with --verify)
+//   1  partition produced but not strictly balanced
+//   2  bad input: unreadable/malformed graph file or bad usage
+//   3  deadline exceeded or cancelled (--timeout-ms)
+//   4  internal invariant violation (including a failed --verify)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,7 +51,7 @@ namespace {
                "usage: %s -k <parts> [-p <norm>] [-o <out>] [--fast]\n"
                "       [--splitter auto|prefix|grid] [--init best|paper|bisection]\n"
                "       [--window-scan] [--threads <n>] [--fork-depth <d>]\n"
-               "       [--image <ppm>]\n"
+               "       [--timeout-ms <ms>] [--image <ppm>]\n"
                "       [--compare] [--quiet] [--verify] <input.graph>\n",
                argv0);
   std::exit(2);
@@ -56,6 +68,7 @@ int main(int argc, char** argv) {
   bool window_scan = false;
   int threads = 1;
   int fork_depth = 0;  // 0 = derive the lane-tree depth from the pool
+  long timeout_ms = -1;  // < 0 = unlimited
   SplitterKind splitter = SplitterKind::Auto;
   InitMethod init = InitMethod::Best;  // the tool defaults to best-of
 
@@ -89,6 +102,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--fork-depth") {
       fork_depth = std::atoi(next());
       if (fork_depth < 0) usage(argv[0]);
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::atol(next());
+      if (timeout_ms < 0) usage(argv[0]);
     } else if (arg == "--splitter") {
       const std::string name = next();
       if (name == "auto") splitter = SplitterKind::Auto;
@@ -114,9 +130,15 @@ int main(int argc, char** argv) {
     const GraphWithWeights in = read_metis_file(input);
     const Graph& g = in.graph;
 
+    // Arm the deadline as late as possible (after parsing): --timeout-ms
+    // budgets the decomposition, not the file read.
+    ExecControl exec;
+    if (timeout_ms >= 0) exec = ExecControl::with_timeout_ms(timeout_ms);
+
     Coloring chi;
     BalanceReport balance;
     double max_b = 0.0, avg_b = 0.0, seconds = 0.0;
+    bool degraded = false;
     if (fast) {
       FastOptions opt;
       opt.inner.k = k;
@@ -126,12 +148,18 @@ int main(int argc, char** argv) {
       opt.inner.window_scan = window_scan;
       opt.inner.num_threads = threads;
       opt.inner.fork_depth = fork_depth;
+      opt.inner.exec = exec;
       FastResult res = decompose_fast(g, in.weights, opt);
       chi = std::move(res.coloring);
       balance = res.balance;
       max_b = res.max_boundary;
       avg_b = res.avg_boundary;
       seconds = res.total_seconds;
+      degraded = res.degraded;
+      if (degraded)
+        std::fprintf(stderr,
+                     "warning: deadline expired after the coarse level; "
+                     "result is best-effort (not strictly balanced)\n");
     } else {
       DecomposeOptions opt;
       opt.k = k;
@@ -141,6 +169,7 @@ int main(int argc, char** argv) {
       opt.window_scan = window_scan;
       opt.num_threads = threads;
       opt.fork_depth = fork_depth;
+      opt.exec = exec;
       DecomposeResult res = decompose(g, in.weights, opt);
       chi = std::move(res.coloring);
       balance = res.balance;
@@ -149,8 +178,21 @@ int main(int argc, char** argv) {
       seconds = res.total_seconds;
     }
 
-    if (!output.empty()) write_partition_file(chi, output);
-    if (!image.empty()) write_coloring_ppm(g, chi, image);
+    // Certificate check FIRST: with --verify no output file is ever
+    // written from an uncertified coloring.
+    bool verify_ok = true;
+    if (verify) {
+      const VerifyReport rep = verify_decomposition(g, in.weights, chi);
+      verify_ok = rep.ok;
+      std::printf("verify: %s", rep.ok ? "OK" : "FAILED");
+      for (const auto& f : rep.failures) std::printf("\n  - %s", f.c_str());
+      std::printf(" (%d classes, %d fragmented)\n", rep.nonempty_classes,
+                  rep.fragmented_classes);
+    }
+    if (verify_ok) {
+      if (!output.empty()) write_partition_file(chi, output);
+      if (!image.empty()) write_coloring_ppm(g, chi, image);
+    }
 
     if (!quiet) {
       Table table("mmd_partition " + input,
@@ -183,17 +225,25 @@ int main(int argc, char** argv) {
       std::printf("n=%d m=%d k=%d strict window (1-1/k)||w||_inf = %.4f\n",
                   g.num_vertices(), g.num_edges(), k, balance.strict_bound);
     }
-    if (verify) {
-      const VerifyReport rep = verify_decomposition(g, in.weights, chi);
-      std::printf("verify: %s", rep.ok ? "OK" : "FAILED");
-      for (const auto& f : rep.failures) std::printf("\n  - %s", f.c_str());
-      std::printf(" (%d classes, %d fragmented)\n", rep.nonempty_classes,
-                  rep.fragmented_classes);
-      if (!rep.ok) return 1;
-    }
+    if (degraded) return 3;            // deadline, best-effort result
+    if (!verify_ok) return 4;          // our own certificate failed
     return balance.strictly_balanced ? 0 : 1;
-  } catch (const std::exception& e) {
+  } catch (const DeadlineExceeded& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const Cancelled& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const InvariantViolation& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
+  } catch (const std::invalid_argument& e) {
+    // ParseError (malformed graph file, with its line number) and every
+    // other bad-input MMD_REQUIRE land here.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 4;
   }
 }
