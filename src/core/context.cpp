@@ -60,18 +60,21 @@ void DecomposeContext::reconcile(const DecomposeOptions& options) {
 }
 
 DecomposeResult DecomposeContext::decompose(std::span<const double> w) {
+  ExclusiveUse::Claim claim = claim_use();
   ++stats_.decompose_calls;
   return mmd::decompose(*g_, w, options_, *splitter_, ws_);
 }
 
 DecomposeResult DecomposeContext::decompose(std::span<const double> w,
                                             const DecomposeOptions& options) {
+  ExclusiveUse::Claim claim = claim_use();
   reconcile(options);
   return decompose(w);
 }
 
 MultiDecomposeResult DecomposeContext::decompose_multi(
     std::span<const double> psi, std::span<const MeasureRef> extra_measures) {
+  ExclusiveUse::Claim claim = claim_use();
   ++stats_.decompose_calls;
   return mmd::decompose_multi(*g_, psi, extra_measures, options_, *splitter_,
                               ws_);
@@ -80,8 +83,24 @@ MultiDecomposeResult DecomposeContext::decompose_multi(
 MultiDecomposeResult DecomposeContext::decompose_multi(
     std::span<const double> psi, std::span<const MeasureRef> extra_measures,
     const DecomposeOptions& options) {
+  ExclusiveUse::Claim claim = claim_use();
   reconcile(options);
   return decompose_multi(psi, extra_measures);
+}
+
+std::size_t DecomposeContext::memory_estimate_bytes() const {
+  const auto n = static_cast<std::size_t>(g_->num_vertices());
+  const int axes = g_->has_coords() ? g_->dim() : 0;
+  // Splitter estimate: the OrderingCache's global orders (one perm + rank
+  // block of n per cached axis order) dominate; the lane-private scratch
+  // (memberships, BFS state, order/radix buffers) is a handful of n-sized
+  // integer arrays.  Not instrumented exactly — the estimate only has to
+  // rank contexts for eviction and sum to the right order of magnitude.
+  std::size_t splitter_bytes =
+      static_cast<std::size_t>(axes) * n *
+          (sizeof(Vertex) + sizeof(std::int32_t)) +
+      8 * n * sizeof(std::int32_t);
+  return sizeof(*this) + splitter_bytes + own_ws_.memory_bytes();
 }
 
 }  // namespace mmd

@@ -18,15 +18,81 @@
 //
 // Thread safety: a context is an exclusive resource — one decompose call
 // at a time (the pool parallelizes *inside* a call, not across calls).
-// Use one context per thread for concurrent callers.
+// Use one context per thread for concurrent callers, or serialize access
+// the way PartitionService does (one admission batch per context at a
+// time).  Every public call enters the ExclusiveUse guard below, so a
+// violated contract reports ConcurrentContextEntry diagnostics (and
+// throws InvariantViolation in Debug builds) instead of silently
+// corrupting the pooled workspace state.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "core/decompose.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mmd {
+
+/// Shared-use detector for exclusive resources (the contexts).  A context
+/// is one-call-at-a-time by contract; violating that silently corrupts
+/// pooled workspace state.  This guard makes the misuse fail loudly
+/// instead: every public context call enters it on the way in, and an
+/// entry from a second thread while a call is running reports
+/// DiagEvent::ConcurrentContextEntry on the caller's diagnostics sink and
+/// (in Debug builds, where MMD_ASSERT is live) throws InvariantViolation
+/// at the offending entry — the original call keeps its claim and stays
+/// valid.  Re-entry from the *owning* thread is legal: it is still
+/// exclusive use (a caller-held claim_use() around a batch of calls, or
+/// FastContext driving its inner DecomposeContext).
+///
+/// The check is two relaxed atomics per call — cheap enough to stay
+/// compiled in for all build types; only the throw is Debug-gated.
+class ExclusiveUse {
+ public:
+  /// RAII claim; see claim_use() on the contexts.
+  class Claim {
+   public:
+    Claim(ExclusiveUse& use, DecomposeDiagnostics* diag, const char* what)
+        : use_(&use) {
+      use.enter(diag, what);
+    }
+    ~Claim() {
+      if (use_ != nullptr) use_->exit();
+    }
+    Claim(Claim&& other) noexcept : use_(other.use_) { other.use_ = nullptr; }
+    Claim(const Claim&) = delete;
+    Claim& operator=(const Claim&) = delete;
+    Claim& operator=(Claim&&) = delete;
+
+   private:
+    ExclusiveUse* use_;
+  };
+
+  void enter(DecomposeDiagnostics* diag, const char* what) {
+    const std::thread::id me = std::this_thread::get_id();
+    if (depth_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      owner_.store(me, std::memory_order_relaxed);
+    } else if (owner_.load(std::memory_order_relaxed) != me) {
+      diag_report(diag, DiagEvent::ConcurrentContextEntry, what);
+#ifndef NDEBUG
+      // Withdraw the offending claim before failing so the context (and
+      // the call legitimately holding it) remain healthy.
+      depth_.fetch_sub(1, std::memory_order_release);
+      MMD_ASSERT(false,
+                 "context entered concurrently: contexts are exclusive "
+                 "resources (one call at a time; use one context per "
+                 "concurrent caller)");
+#endif
+    }
+  }
+  void exit() noexcept { depth_.fetch_sub(1, std::memory_order_release); }
+
+ private:
+  std::atomic<int> depth_{0};
+  std::atomic<std::thread::id> owner_{};
+};
 
 /// Instrumentation counters of a context (see also
 /// ordering_cache_rebind_count() for the cache-level view).  The warm-path
@@ -101,10 +167,29 @@ class DecomposeContext {
   }
   const DecomposeContextStats& stats() const { return stats_; }
 
+  /// Estimated heap footprint of the warm state this context keeps alive
+  /// between calls: the owned workspace pools (exact, by capacity) plus
+  /// the splitter with its OrderingCache and per-lane scratch (a
+  /// documented per-vertex estimate — the splitter internals are not
+  /// instrumented).  Excludes the borrowed graph and any external
+  /// workspace/pool.  PartitionService charges cache entries with this.
+  std::size_t memory_estimate_bytes() const;
+
+  /// Claim exclusive use for a multi-call sequence (the service holds one
+  /// per admission batch).  Claims nest on the owning thread; an entry
+  /// from another thread while any claim is live is the misuse
+  /// ExclusiveUse reports.  decompose()/decompose_multi() take a claim
+  /// internally, so single calls need none.
+  ExclusiveUse::Claim claim_use() {
+    return ExclusiveUse::Claim(use_, options_.diagnostics,
+                               "DecomposeContext entered concurrently");
+  }
+
  private:
   /// Make splitter/pool match `options`, rebuilding only on actual change.
   void reconcile(const DecomposeOptions& options);
 
+  ExclusiveUse use_;
   const Graph* g_;
   DecomposeOptions options_;
   std::unique_ptr<ISplitter> splitter_;

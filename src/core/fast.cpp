@@ -131,6 +131,7 @@ ISplitter& FastContext::fine_splitter() {
 }
 
 FastResult FastContext::decompose(std::span<const double> w) {
+  ExclusiveUse::Claim claim = claim_use();
   MMD_REQUIRE(static_cast<Vertex>(w.size()) == g_->num_vertices(),
               "weight arity mismatch");
   const ExecControl exec = options_.inner.exec;
@@ -213,8 +214,28 @@ FastResult FastContext::decompose(std::span<const double> w) {
 
 FastResult FastContext::decompose(std::span<const double> w,
                                   const FastOptions& options) {
+  ExclusiveUse::Claim claim = claim_use();
   reconcile(options);
   return decompose(w);
+}
+
+std::size_t FastContext::memory_estimate_bytes() const {
+  std::size_t total = sizeof(*this) + own_ws_.memory_bytes();
+  for (const Level& level : levels_) {
+    total += level.graph.memory_bytes() +
+             level.weights.capacity() * sizeof(double) +
+             level.parent.capacity() * sizeof(Vertex);
+  }
+  if (coarse_ctx_ != nullptr) total += coarse_ctx_->memory_estimate_bytes();
+  if (fine_splitter_ != nullptr) {
+    // Same per-vertex splitter estimate as DecomposeContext's.
+    const auto n = static_cast<std::size_t>(g_->num_vertices());
+    const int axes = g_->has_coords() ? g_->dim() : 0;
+    total += static_cast<std::size_t>(axes) * n *
+                 (sizeof(Vertex) + sizeof(std::int32_t)) +
+             8 * n * sizeof(std::int32_t);
+  }
+  return total;
 }
 
 FastResult decompose_fast(const Graph& g, std::span<const double> w,

@@ -124,6 +124,20 @@ class FastContext {
   }
   const FastContextStats& stats() const { return stats_; }
 
+  /// Estimated heap footprint of the warm state kept between calls: the
+  /// cached hierarchy (exact, by capacity), the coarse context's estimate,
+  /// the finest-level splitter estimate, and the owned workspace pools.
+  /// Excludes the borrowed host graph.  See
+  /// DecomposeContext::memory_estimate_bytes.
+  std::size_t memory_estimate_bytes() const;
+
+  /// Claim exclusive use for a multi-call sequence; decompose() claims
+  /// internally.  Same contract as DecomposeContext::claim_use.
+  ExclusiveUse::Claim claim_use() {
+    return ExclusiveUse::Claim(use_, options_.inner.diagnostics,
+                               "FastContext entered concurrently");
+  }
+
  private:
   struct Level {
     Graph graph;  ///< its *embedded* vertex weights are a snapshot of the
@@ -144,6 +158,7 @@ class FastContext {
   DecomposeOptions coarse_options() const;
   ISplitter& fine_splitter();
 
+  ExclusiveUse use_;
   const Graph* g_;
   FastOptions options_;
   std::vector<Level> levels_;

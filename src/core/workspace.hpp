@@ -134,6 +134,13 @@ class DecomposeWorkspace {
   /// driver-side allocation.  Orchestration thread only.
   MultiSplitTreeScratch& tree_scratch();
 
+  /// Heap footprint of every pool this workspace owns (memberships, list
+  /// buffers, lane workspaces recursively, tree slots, refine scratch).
+  /// Grows monotonically with use, like the pools themselves; the service
+  /// context cache reads it at request checkin to account warm state
+  /// against its byte budget.
+  std::size_t memory_bytes() const;
+
   RefineWorkspace refine;
 
  private:

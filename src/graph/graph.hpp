@@ -147,6 +147,21 @@ class Graph {
   /// can be reused by a different graph.
   std::uint64_t uid() const { return uid_; }
 
+  /// Heap footprint of this instance (CSR arrays, fused incidence,
+  /// coordinates), by vector capacity.  The context cache of
+  /// PartitionService budgets its entries with this plus the contexts'
+  /// own estimates.
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + xadj_.capacity() * sizeof(std::int64_t) +
+           (adj_.capacity() + etail_.capacity() + ehead_.capacity()) *
+               sizeof(Vertex) +
+           eid_.capacity() * sizeof(EdgeId) +
+           half_.capacity() * sizeof(HalfEdge) +
+           (ecost_.capacity() + vweight_.capacity() + wdeg_.capacity()) *
+               sizeof(double) +
+           coords_.capacity() * sizeof(std::int32_t);
+  }
+
  private:
   friend class GraphBuilder;
 

@@ -37,6 +37,12 @@ class Membership {
 
   Vertex size() const { return static_cast<Vertex>(stamp_.size()); }
 
+  /// Heap footprint (stamp-array capacity); feeds the workspace/context
+  /// size accounting of the service cache.
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + stamp_.capacity() * sizeof(std::uint32_t);
+  }
+
   /// Start a fresh (empty) subset; O(1) amortized.
   void clear() {
     if (++epoch_ == 0) {  // wrapped: reset stamps

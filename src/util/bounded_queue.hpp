@@ -1,0 +1,117 @@
+// Bounded blocking MPMC queue: the admission edge of PartitionService.
+//
+// A long-lived server cannot admit unboundedly — a burst must exert
+// backpressure on its producers, not grow an infinite backlog.  This queue
+// is the smallest primitive that gives that: push() blocks while the
+// queue is at capacity, try_pop_all() hands a consumer the entire current
+// backlog in arrival order (the admission-batching shape: one drain = one
+// batch), and close() releases every blocked producer/consumer for
+// shutdown.  No per-element condition variables, no lock-free cleverness —
+// admission is not the hot path; the decompositions behind it are.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mmd {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Queue admitting at most `capacity` (>= 1) queued elements.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    MMD_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueue, blocking while the queue is full.  Returns false (without
+  /// enqueuing) once the queue is closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue only if space is available right now; never blocks.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue one element, blocking while empty.  Empty optional once the
+  /// queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Move the entire current backlog into `out` (appended, arrival order);
+  /// never blocks.  Returns the number of elements taken.  This is the
+  /// admission-batch drain: everything queued at drain time forms one
+  /// batch.
+  std::size_t try_pop_all(std::vector<T>& out) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      taken = items_.size();
+      for (T& value : items_) out.push_back(std::move(value));
+      items_.clear();
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
+  }
+
+  /// Close: blocked producers return false, consumers drain then get
+  /// std::nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mmd

@@ -25,6 +25,8 @@ enum class DiagEvent {
   LanelessFallback,     ///< make_lane unsupported; multi_split stayed serial
   PoolConstructFailed,  ///< ThreadPool build threw; context degraded to serial
   DegradedResult,       ///< deadline hit in fast mode; best-effort returned
+  ConcurrentContextEntry,  ///< a context (exclusive per call) was entered
+                           ///< while another call held it — caller bug
 };
 
 /// Caller-owned diagnostics sink (borrowed by DecomposeOptions; must
@@ -44,6 +46,11 @@ struct DecomposeDiagnostics {
   /// A fast-mode deadline hit after the coarse level completed; the call
   /// returned a degraded best-effort result with a certificate.
   std::atomic<long> degraded_results{0};
+  /// A DecomposeContext/FastContext was entered from a second thread while
+  /// a call was already running on it (contexts are exclusive resources;
+  /// see ExclusiveUse in core/context.hpp).  Debug builds additionally
+  /// throw InvariantViolation at the offending entry.
+  std::atomic<long> concurrent_context_entries{0};
 
   /// Optional log hook; `message` has static storage duration.
   std::function<void(DiagEvent event, const char* message)> callback;
@@ -54,6 +61,7 @@ struct DecomposeDiagnostics {
       case DiagEvent::LanelessFallback: ++laneless_fallbacks; break;
       case DiagEvent::PoolConstructFailed: ++pool_construct_failures; break;
       case DiagEvent::DegradedResult: ++degraded_results; break;
+      case DiagEvent::ConcurrentContextEntry: ++concurrent_context_entries; break;
     }
     if (callback) callback(event, message);
   }

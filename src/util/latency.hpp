@@ -1,0 +1,88 @@
+// Latency recording for the service layer: exact percentiles over a
+// bounded reservoir.
+//
+// Tail latency (p95/p99) is the service's primary quality-of-service
+// number; a mean hides exactly the requests that matter.  The recorder
+// keeps raw samples (exact percentiles beat bucketed approximations at
+// the trace sizes the benches replay) behind a hard cap: past the cap it
+// degrades to deterministic systematic sampling — every stride-th sample
+// — so a long-lived server cannot grow the reservoir without bound.
+// Not thread-safe by design: callers own the locking (PartitionService
+// records under its stats mutex; trace_replay records per client thread
+// and merges).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mmd {
+
+class LatencyRecorder {
+ public:
+  /// `max_samples` caps the reservoir (>= 1); past it, only every
+  /// stride-th observation is kept (stride doubles each time the cap is
+  /// hit), keeping a deterministic, uniformly spread subset.
+  explicit LatencyRecorder(std::size_t max_samples = 1 << 20)
+      : max_samples_(max_samples < 1 ? 1 : max_samples) {}
+
+  /// Record one observation (seconds; any non-negative unit works — the
+  /// recorder never converts).
+  void record(double seconds) {
+    ++observed_;
+    sum_ += seconds;
+    if (seconds > max_) max_ = seconds;
+    if ((observed_ - 1) % stride_ != 0) return;
+    if (samples_.size() >= max_samples_) {
+      // Thin to every second sample and double the stride: the kept set
+      // stays uniformly spread over the whole observation sequence.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < samples_.size(); i += 2)
+        samples_[kept++] = samples_[i];
+      samples_.resize(kept);
+      stride_ *= 2;
+      if ((observed_ - 1) % stride_ != 0) return;
+    }
+    samples_.push_back(seconds);
+  }
+
+  /// Merge another recorder's samples (for per-thread recorders).
+  void merge(const LatencyRecorder& other) {
+    observed_ += other.observed_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  /// Number of observations recorded (not the reservoir size).
+  std::size_t count() const { return observed_; }
+  double total() const { return sum_; }
+  double max() const { return max_; }
+
+  /// Exact q-th percentile (q in [0,1]) of the reservoir; 0 when empty.
+  double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    return mmd::percentile(samples_, q);
+  }
+
+  void clear() {
+    samples_.clear();
+    observed_ = 0;
+    stride_ = 1;
+    sum_ = 0.0;
+    max_ = 0.0;
+  }
+
+ private:
+  std::size_t max_samples_;
+  std::size_t observed_ = 0;
+  std::size_t stride_ = 1;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace mmd

@@ -84,6 +84,68 @@ cmp -s "$tmp/out.part" "$tmp/thr.part" || {
   fails=$((fails + 1))
 }
 
+# 9. --serve JSONL session: load, two decompose calls (cold then warm,
+#    identical after stripping the "warm" field), stats, evict, decompose
+#    after evict -> not_found, malformed request -> in-band bad_request
+#    (session survives), shutdown -> exit 0.
+serve_out="$tmp/serve.out"
+{
+  echo '{"op":"load","graph":"g","path":"'"$good"'"}'
+  echo '{"op":"decompose","graph":"g","k":3,"include_partition":true}'
+  echo '{"op":"decompose","graph":"g","k":3,"include_partition":true}'
+  echo '{"op":"stats"}'
+  echo '{"op":"evict","graph":"g"}'
+  echo '{"op":"decompose","graph":"g","k":3}'
+  echo 'this is not json'
+  echo '{"op":"nonsense"}'
+  echo '{"op":"shutdown"}'
+} | "$bin" --serve > "$serve_out"
+check "--serve session" 0 $?
+
+serve_line() { sed -n "${1}p" "$serve_out"; }
+expect_contains() {  # expect_contains <name> <line-no> <needle>
+  case "$(serve_line "$2")" in
+    *"$3"*) echo "ok: serve $1" ;;
+    *) echo "FAIL: serve $1: line $2 lacks '$3': $(serve_line "$2")" >&2
+       fails=$((fails + 1)) ;;
+  esac
+}
+
+[ "$(wc -l < "$serve_out")" -eq 9 ] || {
+  echo "FAIL: serve session: expected 9 response lines" >&2
+  fails=$((fails + 1))
+}
+expect_contains "load ok" 1 '"ok":true,"op":"load"'
+expect_contains "cold decompose ok" 2 '"status":"ok"'
+expect_contains "cold decompose is cold" 2 '"warm":false'
+expect_contains "warm decompose is warm" 3 '"warm":true'
+expect_contains "strict balance" 2 '"strict":true'
+# Responses must be byte-identical modulo the warm flag (the service may
+# change latency, never bytes).
+cold="$(serve_line 2 | sed 's/"warm":false/"warm":X/')"
+warm="$(serve_line 3 | sed 's/"warm":true/"warm":X/')"
+if [ "$cold" != "$warm" ]; then
+  echo "FAIL: warm response differs from cold beyond the warm flag" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: serve warm == cold (modulo warm flag)"
+fi
+expect_contains "stats" 4 '"cache_hits":1'
+expect_contains "evict" 5 '"existed":true'
+expect_contains "decompose after evict" 6 '"status":"not_found"'
+expect_contains "malformed line survives" 7 '"status":"bad_request"'
+expect_contains "unknown op" 8 '"status":"bad_request"'
+expect_contains "shutdown" 9 '"ok":true,"op":"shutdown"'
+
+# 10. --serve with a malformed graph file: the load fails in-band with the
+#     ParseError line number, the session keeps serving, EOF exits 0.
+err_out="$(printf '{"op":"load","graph":"b","path":"%s"}\n{"op":"stats"}\n' "$bad" | "$bin" --serve)"
+check "--serve malformed load, EOF exit" 0 $?
+case "$err_out" in
+  *'"ok":false'*'line 2'*'"op":"stats"'*) echo "ok: serve load error in-band, session survived" ;;
+  *) echo "FAIL: serve malformed-load session: $err_out" >&2; fails=$((fails + 1)) ;;
+esac
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

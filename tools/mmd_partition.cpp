@@ -28,10 +28,25 @@
 //   2  bad input: unreadable/malformed graph file or bad usage
 //   3  deadline exceeded or cancelled (--timeout-ms)
 //   4  internal invariant violation (including a failed --verify)
+//
+// Server mode (docs/API.md, "The service layer"):
+//
+//   mmd_partition --serve [--budget-kb <kb>] [--queue <n>] [--workers <n>]
+//
+// reads one JSON object per line from stdin and answers one JSON object
+// per line on stdout, fronting a PartitionService (warm contexts, LRU
+// byte budget, request batching).  Ops: load, decompose, stats, evict,
+// shutdown.  Request errors — malformed JSON included — are answered
+// in-band ({"ok":false,...}) and never kill the session; the process
+// exits 0 on stdin EOF or a shutdown op (2 only for bad --serve usage).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
+
+#include "service/jsonl.hpp"
+#include "service/partition_service.hpp"
 
 #include "baselines/greedy.hpp"
 #include "baselines/recursive_bisection.hpp"
@@ -52,15 +67,227 @@ namespace {
                "       [--splitter auto|prefix|grid] [--init best|paper|bisection]\n"
                "       [--window-scan] [--threads <n>] [--fork-depth <d>]\n"
                "       [--timeout-ms <ms>] [--image <ppm>]\n"
-               "       [--compare] [--quiet] [--verify] <input.graph>\n",
-               argv0);
+               "       [--compare] [--quiet] [--verify] <input.graph>\n"
+               "       %s --serve [--budget-kb <kb>] [--queue <n>] "
+               "[--workers <n>]\n",
+               argv0, argv0);
   std::exit(2);
+}
+
+// One decompose/fast request assembled from a parsed JSONL object.
+// Returns false (with `error` set) on a malformed field; unknown keys are
+// ignored (forward compatibility).
+bool request_from_json(const mmd::jsonl::Object& obj, mmd::ServiceRequest& req,
+                       bool& include_partition, std::string& error) {
+  using mmd::jsonl::get_bool;
+  using mmd::jsonl::get_number;
+  using mmd::jsonl::get_string;
+
+  req.graph = get_string(obj, "graph", "", error);
+  if (req.graph.empty() && error.empty()) error = "field 'graph' is required";
+
+  const std::string mode = get_string(obj, "mode", "full", error);
+  if (mode == "full") req.mode = mmd::RequestMode::Decompose;
+  else if (mode == "fast") req.mode = mmd::RequestMode::Fast;
+  else if (error.empty()) error = "field 'mode' must be \"full\" or \"fast\"";
+
+  req.options.k = static_cast<int>(get_number(obj, "k", 0, error));
+  if (req.options.k < 1 && error.empty()) error = "field 'k' must be >= 1";
+  req.options.p = get_number(obj, "p", 2.0, error);
+  req.options.num_threads =
+      static_cast<int>(get_number(obj, "threads", 1, error));
+  req.options.fork_depth =
+      static_cast<int>(get_number(obj, "fork_depth", 0, error));
+  req.options.window_scan = get_bool(obj, "window_scan", false, error);
+  req.timeout_ms = static_cast<long>(get_number(obj, "timeout_ms", -1, error));
+
+  const std::string splitter = get_string(obj, "splitter", "auto", error);
+  if (splitter == "auto") req.options.splitter = mmd::SplitterKind::Auto;
+  else if (splitter == "prefix") req.options.splitter = mmd::SplitterKind::Prefix;
+  else if (splitter == "grid") req.options.splitter = mmd::SplitterKind::Grid;
+  else if (error.empty()) error = "unknown splitter '" + splitter + "'";
+
+  // Same default as the tool's one-shot mode (best-of), so a --serve
+  // decompose answers identically to `mmd_partition -k <k> <file>`.
+  const std::string init = get_string(obj, "init", "best", error);
+  if (init == "paper") req.options.init = mmd::InitMethod::Paper;
+  else if (init == "bisection") req.options.init = mmd::InitMethod::Bisection;
+  else if (init == "best") req.options.init = mmd::InitMethod::Best;
+  else if (error.empty()) error = "unknown init '" + init + "'";
+
+  req.fast_coarse_target =
+      static_cast<int>(get_number(obj, "coarse_target", 4096, error));
+  req.fast_max_levels =
+      static_cast<int>(get_number(obj, "max_levels", 24, error));
+  req.fast_refine_passes =
+      static_cast<int>(get_number(obj, "refine_passes", 4, error));
+  req.fast_seed =
+      static_cast<std::uint64_t>(get_number(obj, "seed", 0xfa57, error));
+
+  include_partition = get_bool(obj, "include_partition", false, error);
+  return error.empty();
+}
+
+void emit(const mmd::jsonl::Writer& w) {
+  std::fputs(w.str().c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);  // request-response over a pipe: no buffering games
+}
+
+void emit_error(const char* op, const std::string& message,
+                const char* status = "bad_request") {
+  mmd::jsonl::Writer w;
+  w.add("ok", false).add("op", op).add("status", status).add("error", message);
+  emit(w);
+}
+
+/// stdin/stdout JSONL server.  Exit 0 on EOF or shutdown op.
+int serve_main(const mmd::PartitionServiceOptions& service_options) {
+  using namespace mmd;
+  PartitionService service(service_options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    jsonl::Object obj;
+    std::string error;
+    if (!jsonl::parse_object(line, obj, error)) {
+      emit_error("", "malformed request: " + error);
+      continue;
+    }
+    const std::string op = jsonl::get_string(obj, "op", "", error);
+    if (op == "load") {
+      const std::string graph = jsonl::get_string(obj, "graph", "", error);
+      const std::string path = jsonl::get_string(obj, "path", "", error);
+      if (!error.empty() || graph.empty() || path.empty()) {
+        emit_error("load", error.empty()
+                               ? "fields 'graph' and 'path' are required"
+                               : error);
+        continue;
+      }
+      try {
+        service.load_graph_file(graph, path);
+      } catch (const std::exception& e) {
+        emit_error("load", e.what());
+        continue;
+      }
+      jsonl::Writer w;
+      w.add("ok", true).add("op", "load").add("graph", graph);
+      emit(w);
+    } else if (op == "decompose") {
+      ServiceRequest req;
+      bool include_partition = false;
+      if (!request_from_json(obj, req, include_partition, error)) {
+        emit_error("decompose", error);
+        continue;
+      }
+      const ServiceResponse resp = service.execute(req);
+      jsonl::Writer w;
+      w.add("ok", resp.ok())
+          .add("op", "decompose")
+          .add("graph", req.graph)
+          .add("status", to_string(resp.status));
+      if (resp.ok()) {
+        // Deterministic payload only (no timings): two responses for the
+        // same request must be byte-identical, warm or cold — the smoke
+        // test pins that after stripping the "warm" field.
+        w.add("k", static_cast<long>(resp.coloring.k))
+            .add("max_boundary", resp.max_boundary)
+            .add("avg_boundary", resp.avg_boundary)
+            .add("max_dev", resp.balance.max_dev)
+            .add("strict", resp.balance.strictly_balanced)
+            .add("degraded", resp.degraded)
+            .add("warm", resp.warm);
+        if (include_partition) {
+          std::string part;
+          part.reserve(resp.coloring.color.size() * 2);
+          for (std::size_t v = 0; v < resp.coloring.color.size(); ++v) {
+            if (v > 0) part.push_back(' ');
+            part.append(std::to_string(resp.coloring.color[v]));
+          }
+          w.add("partition", part);
+        }
+      } else {
+        w.add("error", resp.error);
+      }
+      emit(w);
+    } else if (op == "stats") {
+      const ServiceStats s = service.stats();
+      jsonl::Writer w;
+      w.add("ok", true)
+          .add("op", "stats")
+          .add("requests", s.requests)
+          .add("ok_requests", s.ok)
+          .add("errors", s.errors)
+          .add("cache_hits", s.cache_hits)
+          .add("cache_misses", s.cache_misses)
+          .add("hit_rate", s.hit_rate())
+          .add("context_evictions", s.context_evictions)
+          .add("rounds", s.rounds)
+          .add("batched_requests", s.batched_requests)
+          .add("cached_bytes", static_cast<long>(s.cached_bytes))
+          .add("graphs_loaded", static_cast<long>(s.graphs_loaded))
+          .add("p50_seconds", s.p50_seconds)
+          .add("p95_seconds", s.p95_seconds)
+          .add("p99_seconds", s.p99_seconds);
+      emit(w);
+    } else if (op == "evict") {
+      const std::string graph = jsonl::get_string(obj, "graph", "", error);
+      if (!error.empty() || graph.empty()) {
+        emit_error("evict",
+                   error.empty() ? "field 'graph' is required" : error);
+        continue;
+      }
+      jsonl::Writer w;
+      w.add("ok", true)
+          .add("op", "evict")
+          .add("graph", graph)
+          .add("existed", service.evict_graph(graph));
+      emit(w);
+    } else if (op == "shutdown") {
+      jsonl::Writer w;
+      w.add("ok", true).add("op", "shutdown");
+      emit(w);
+      break;
+    } else {
+      emit_error(op.c_str(), error.empty() ? "unknown op '" + op + "'"
+                                           : error);
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mmd;
+  // Server mode peels off first: it has its own (tiny) flag set.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") != 0) continue;
+    PartitionServiceOptions so;
+    for (int j = 1; j < argc; ++j) {
+      const std::string arg = argv[j];
+      auto next = [&]() -> const char* {
+        if (j + 1 >= argc) usage(argv[0]);
+        return argv[++j];
+      };
+      if (arg == "--serve") continue;
+      else if (arg == "--budget-kb") {
+        const long kb = std::atol(next());
+        if (kb < 0) usage(argv[0]);
+        so.context_budget_bytes = static_cast<std::size_t>(kb) << 10;
+      } else if (arg == "--queue") {
+        const int q = std::atoi(next());
+        if (q < 1) usage(argv[0]);
+        so.queue_capacity = static_cast<std::size_t>(q);
+      } else if (arg == "--workers") {
+        so.num_workers = std::atoi(next());
+        if (so.num_workers < 1) usage(argv[0]);
+      } else {
+        usage(argv[0]);
+      }
+    }
+    return serve_main(so);
+  }
   int k = 0;
   double p = 2.0;
   std::string input, output, image;

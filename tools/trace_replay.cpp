@@ -1,0 +1,318 @@
+// trace_replay — synthetic production trace against PartitionService.
+//
+//   trace_replay [out.json] [--label <s>] [--requests <n>] [--clients <n>]
+//                [--graphs <n>] [--workers <n>] [--budget-kb <kb>]
+//                [--zipf <alpha>] [--seed <s>]
+//
+// Drives the service the way a real embedding would and measures what a
+// real embedding cares about:
+//
+//   * a fleet of 2-D grid graphs with mixed edge-cost models, popularity
+//     Zipf(alpha)-distributed — a few hot graphs dominate, a long tail of
+//     cold ones exercises the LRU byte budget,
+//   * mixed k (2..16), mixed mode (~1/8 fast), and occasional custom
+//     heavy-tailed weight vectors — the batching sweet spot: same graph,
+//     different request parameters, one warm context,
+//   * bursty arrivals: clients fire back to back with occasional jittered
+//     gaps, so rounds see real backlogs,
+//   * and, after the run, a *serial oracle replay*: every request is
+//     recomputed with a fresh transient decompose/decompose_fast call and
+//     the service's response must be bit-identical (coloring bytes) with
+//     max_boundary_vs_seed == 0 — the service layer may never change a
+//     result, only its latency.  Any mismatch makes the exit code
+//     nonzero.
+//
+// Results (requests/sec, p50/p95/p99/max latency, cache hit rate,
+// evictions, batching counters, oracle verdict) land in the output JSON
+// (default BENCH_PR7.json), one flat object, CI-artifact-ready.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fast.hpp"
+#include "gen/grid.hpp"
+#include "service/jsonl.hpp"
+#include "service/partition_service.hpp"
+#include "util/latency.hpp"
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mmd;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [out.json] [--label <s>] [--requests <n>]\n"
+               "       [--clients <n>] [--graphs <n>] [--workers <n>]\n"
+               "       [--budget-kb <kb>] [--zipf <alpha>] [--seed <s>]\n",
+               argv0);
+  std::exit(2);
+}
+
+struct TraceItem {
+  int graph = 0;        ///< index into the fleet
+  RequestMode mode = RequestMode::Decompose;
+  int k = 2;
+  int weight_variant = 0;  ///< 0 = graph default, else alt vector index
+  bool gap_after = false;  ///< client sleeps briefly after this request
+};
+
+struct GraphInstance {
+  std::string name;
+  Graph graph;
+  std::vector<std::vector<double>> alt_weights;  ///< heavy-tailed variants
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_PR7.json";
+  std::string label = "pr7-trace";
+  int num_requests = 200;
+  int num_clients = 4;
+  int num_graphs = 6;
+  int num_workers = 2;
+  long budget_kb = 256;
+  double zipf_alpha = 1.1;
+  std::uint64_t seed = 0x7ace;
+
+  bool saw_out = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--label") label = next();
+    else if (arg == "--requests") num_requests = std::atoi(next());
+    else if (arg == "--clients") num_clients = std::atoi(next());
+    else if (arg == "--graphs") num_graphs = std::atoi(next());
+    else if (arg == "--workers") num_workers = std::atoi(next());
+    else if (arg == "--budget-kb") budget_kb = std::atol(next());
+    else if (arg == "--zipf") zipf_alpha = std::atof(next());
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 0);
+    else if (arg[0] == '-') usage(argv[0]);
+    else if (!saw_out) { out_path = arg; saw_out = true; }
+    else usage(argv[0]);
+  }
+  if (num_requests < 1 || num_clients < 1 || num_graphs < 1 ||
+      num_workers < 1 || budget_kb < 0)
+    usage(argv[0]);
+
+  Rng rng(seed);
+
+  // ---- the graph fleet -----------------------------------------------------
+  // 2-D grids of mixed size and edge-cost model; index 0 (the Zipf head)
+  // gets the largest instance so the hot path is also the heavy one.
+  const CostModel models[] = {CostModel::Unit, CostModel::Uniform,
+                              CostModel::LogUniform, CostModel::SmoothField,
+                              CostModel::Bands};
+  std::vector<GraphInstance> fleet;
+  fleet.reserve(static_cast<std::size_t>(num_graphs));
+  for (int gi = 0; gi < num_graphs; ++gi) {
+    CostParams costs;
+    costs.model = models[gi % 5];
+    costs.lo = 1.0;
+    costs.hi = costs.model == CostModel::Unit ? 1.0 : 8.0;
+    costs.seed = seed + static_cast<std::uint64_t>(gi);
+    const int side = 28 - 3 * (gi % 6);  // 28, 25, ..., 13, then repeat
+    GraphInstance inst;
+    inst.name = "g" + std::to_string(gi);
+    inst.graph = make_grid_cube(2, side, costs);
+    const auto n = static_cast<std::size_t>(inst.graph.num_vertices());
+    for (int variant = 0; variant < 2; ++variant) {
+      // Heavy-tailed weights: exp(U[0, 4]) spans ~1..55, the regime where
+      // strict balance actually has to work.
+      std::vector<double> w(n);
+      Rng wr(seed ^ (static_cast<std::uint64_t>(gi) << 8) ^
+             static_cast<std::uint64_t>(variant));
+      for (double& x : w) x = std::exp(wr.uniform(0.0, 4.0));
+      inst.alt_weights.push_back(std::move(w));
+    }
+    fleet.push_back(std::move(inst));
+  }
+
+  // Zipf CDF over the fleet: P(i) ~ 1 / (i + 1)^alpha.
+  std::vector<double> zipf_cdf(fleet.size());
+  {
+    double total = 0.0;
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+      total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_alpha);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), zipf_alpha) / total;
+      zipf_cdf[i] = acc;
+    }
+    zipf_cdf.back() = 1.0;
+  }
+
+  // ---- the trace -----------------------------------------------------------
+  // Generated up front (and deterministically) so the oracle replay below
+  // re-executes exactly the same work.
+  const int ks[] = {2, 3, 4, 8, 16};
+  std::vector<TraceItem> trace(static_cast<std::size_t>(num_requests));
+  for (TraceItem& item : trace) {
+    const double u = rng.uniform();
+    item.graph = static_cast<int>(
+        std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+        zipf_cdf.begin());
+    item.k = ks[rng.next_below(5)];
+    item.mode = rng.next_below(8) == 0 ? RequestMode::Fast
+                                       : RequestMode::Decompose;
+    item.weight_variant =
+        rng.next_below(4) == 0 ? 1 + static_cast<int>(rng.next_below(2)) : 0;
+    item.gap_after = rng.next_below(16) == 0;  // burst boundary
+  }
+
+  // ---- the run -------------------------------------------------------------
+  PartitionServiceOptions so;
+  so.context_budget_bytes = static_cast<std::size_t>(budget_kb) << 10;
+  so.num_workers = num_workers;
+  PartitionService service(so);
+  for (const GraphInstance& inst : fleet) {
+    // Explicit all-ones default weights, so the oracle replay below can
+    // reconstruct them without consulting the service.
+    service.load_graph(
+        inst.name, Graph(inst.graph),
+        std::vector<double>(static_cast<std::size_t>(inst.graph.num_vertices()),
+                            1.0));
+  }
+
+  std::vector<ServiceResponse> responses(trace.size());
+  std::vector<LatencyRecorder> client_latency(
+      static_cast<std::size_t>(num_clients));
+  std::atomic<std::size_t> next_item{0};
+
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (int ci = 0; ci < num_clients; ++ci) {
+    clients.emplace_back([&, ci] {
+      Rng jitter(seed ^ 0xc11e47 ^ static_cast<std::uint64_t>(ci));
+      while (true) {
+        const std::size_t idx = next_item.fetch_add(1);
+        if (idx >= trace.size()) break;
+        const TraceItem& item = trace[idx];
+        const GraphInstance& inst = fleet[static_cast<std::size_t>(item.graph)];
+        ServiceRequest req;
+        req.graph = inst.name;
+        req.mode = item.mode;
+        req.options.k = item.k;
+        if (item.weight_variant > 0)
+          req.weights = inst.alt_weights[static_cast<std::size_t>(
+              item.weight_variant - 1)];
+        Timer t;
+        responses[idx] = service.execute(req);
+        client_latency[static_cast<std::size_t>(ci)].record(t.seconds());
+        if (item.gap_after)
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(jitter.next_below(2000)));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = wall.seconds();
+  const ServiceStats stats = service.stats();
+
+  LatencyRecorder latency;
+  for (const LatencyRecorder& lr : client_latency) latency.merge(lr);
+
+  // ---- serial oracle replay ------------------------------------------------
+  // A fresh transient call per request: the strongest form of "the service
+  // only changes latency" — no shared contexts, no cache, no threads.
+  long mismatches = 0;
+  long error_responses = 0;
+  double max_boundary_vs_seed = 0.0;
+  for (std::size_t idx = 0; idx < trace.size(); ++idx) {
+    const TraceItem& item = trace[idx];
+    const ServiceResponse& got = responses[idx];
+    if (!got.ok()) {
+      // The trace sets no deadlines and no bad parameters, so every
+      // response must be Ok; anything else is a service bug.
+      ++error_responses;
+      continue;
+    }
+    const GraphInstance& inst = fleet[static_cast<std::size_t>(item.graph)];
+    const std::vector<double> default_w(
+        static_cast<std::size_t>(inst.graph.num_vertices()), 1.0);
+    const std::span<const double> w =
+        item.weight_variant > 0
+            ? std::span<const double>(inst.alt_weights[static_cast<std::size_t>(
+                  item.weight_variant - 1)])
+            : std::span<const double>(default_w);
+    Coloring expect;
+    double expect_max_boundary = 0.0;
+    if (item.mode == RequestMode::Decompose) {
+      DecomposeOptions opt;
+      opt.k = item.k;
+      DecomposeResult r = decompose(inst.graph, w, opt);
+      expect = std::move(r.coloring);
+      expect_max_boundary = r.max_boundary;
+    } else {
+      FastOptions opt;
+      opt.inner.k = item.k;
+      FastResult r = decompose_fast(inst.graph, w, opt);
+      expect = std::move(r.coloring);
+      expect_max_boundary = r.max_boundary;
+    }
+    const bool identical =
+        expect.k == got.coloring.k && expect.color == got.coloring.color;
+    if (!identical) ++mismatches;
+    const double diff = std::abs(got.max_boundary - expect_max_boundary);
+    if (diff > max_boundary_vs_seed) max_boundary_vs_seed = diff;
+  }
+
+  // ---- report --------------------------------------------------------------
+  jsonl::Writer w;
+  w.add("bench", "trace_replay")
+      .add("label", label)
+      .add("requests", static_cast<long>(num_requests))
+      .add("clients", static_cast<long>(num_clients))
+      .add("graphs", static_cast<long>(num_graphs))
+      .add("workers", static_cast<long>(num_workers))
+      .add("budget_kb", budget_kb)
+      .add("zipf_alpha", zipf_alpha)
+      .add("elapsed_seconds", elapsed)
+      .add("requests_per_sec",
+           elapsed > 0.0 ? static_cast<double>(num_requests) / elapsed : 0.0)
+      .add("p50_ms", latency.percentile(0.50) * 1e3)
+      .add("p95_ms", latency.percentile(0.95) * 1e3)
+      .add("p99_ms", latency.percentile(0.99) * 1e3)
+      .add("max_ms", latency.max() * 1e3)
+      .add("cache_hits", stats.cache_hits)
+      .add("cache_misses", stats.cache_misses)
+      .add("cache_hit_rate", stats.hit_rate())
+      .add("context_evictions", stats.context_evictions)
+      .add("rounds", stats.rounds)
+      .add("batched_requests", stats.batched_requests)
+      .add("error_responses", error_responses)
+      .add("oracle_mismatches", mismatches)
+      .add("max_boundary_vs_seed", max_boundary_vs_seed);
+  const std::string json = w.str();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::printf("%s\n", json.c_str());
+
+  if (mismatches > 0 || error_responses > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %ld oracle mismatches, %ld error responses\n",
+                 mismatches, error_responses);
+    return 1;
+  }
+  return 0;
+}
