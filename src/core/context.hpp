@@ -105,6 +105,9 @@ struct DecomposeContextStats {
   /// degraded the context to the serial path (results identical, slower)
   /// and reported PoolConstructFailed on options.diagnostics.
   int pool_construct_failures = 0;
+  long repartition_calls = 0;    ///< repartition() calls served
+  long incremental_served = 0;   ///< of those, served by the seeded path
+  long escalations = 0;          ///< of those, escalated to a full solve
 };
 
 /// Reusable decomposition state bound to one graph.
@@ -145,6 +148,44 @@ class DecomposeContext {
   /// the warm path.
   DecomposeResult decompose(std::span<const double> w,
                             const DecomposeOptions& options);
+
+  /// Bind (copy) the base weight vector the repartition chain drifts from.
+  /// Must be called once before update_weights()/repartition().  Rebinding
+  /// later is legal: vertices whose weight changed are appended to the
+  /// pending dirty set, so the next repartition treats the rebind as one
+  /// big delta batch.
+  void set_weights(std::span<const double> w);
+  bool has_weights() const { return weights_bound_; }
+  /// The current (post-delta) weight vector (valid after set_weights).
+  std::span<const double> weights() const { return weights_; }
+
+  /// Apply absolute weight deltas to the bound weight vector in place,
+  /// refreshing the cached weight-dependent state (per-class weight sums
+  /// of the cached prior) without rebuilding the splitter, pool, or
+  /// hierarchy.  Validates every delta (vertex in range, weight finite and
+  /// >= 0) before mutating anything, and the mutation loop itself never
+  /// throws — so a failed call leaves the context exactly as it was, and
+  /// because deltas carry absolute weights, re-applying the same batch
+  /// after a mid-call fault is a no-op on the weights and class sums
+  /// (the retryability contract the fault suite pins).  The touched
+  /// vertices accumulate in the pending dirty set, which only a
+  /// *successful* repartition() clears.  Returns the number of deltas
+  /// applied.
+  std::size_t update_weights(std::span<const WeightDelta> deltas);
+
+  /// Solve under the bound weights after applying `deltas`, seeding from
+  /// the previous repartition's solution when one is cached: the first
+  /// call is a full solve; later calls run the incremental seeded path
+  /// and escalate to a full solve when the certificate fires (see
+  /// IncrementalOptions).  On success the result is adopted as the new
+  /// prior and the pending dirty set is cleared; on a thrown fault
+  /// (deadline/cancel/alloc) nothing is adopted, the dirty set keeps
+  /// accumulating, and an identical retry returns a bit-identical result.
+  DecomposeResult repartition(std::span<const WeightDelta> deltas = {});
+
+  /// Same with per-call options (reconciled like decompose(w, options)).
+  DecomposeResult repartition(std::span<const WeightDelta> deltas,
+                              const DecomposeOptions& options);
 
   /// Multi-balanced variant (Conclusion; see decompose_multi).
   MultiDecomposeResult decompose_multi(
@@ -188,6 +229,7 @@ class DecomposeContext {
  private:
   /// Make splitter/pool match `options`, rebuilding only on actual change.
   void reconcile(const DecomposeOptions& options);
+  DecomposeResult do_repartition();
 
   ExclusiveUse use_;
   const Graph* g_;
@@ -198,6 +240,18 @@ class DecomposeContext {
   DecomposeWorkspace own_ws_;
   DecomposeWorkspace* ws_;
   DecomposeContextStats stats_;
+
+  // Repartition chain state: the bound weight vector the deltas drift,
+  // and the cached prior solution (with per-class stats maintained
+  // incrementally per delta) the next call seeds from.
+  std::vector<double> weights_;
+  bool weights_bound_ = false;
+  Coloring prior_coloring_;
+  std::vector<double> prior_class_weights_;
+  double prior_max_boundary_ = 0.0;
+  double prior_baseline_boundary_ = 0.0;
+  bool prior_valid_ = false;
+  std::vector<Vertex> pending_dirty_;  ///< cleared only by a successful solve
 };
 
 }  // namespace mmd

@@ -1,5 +1,6 @@
 #include "core/decompose.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/binpack.hpp"
@@ -79,6 +80,14 @@ PhaseReport report_phase(const Graph& g, std::span<const double> w,
   return rep;
 }
 
+long count_migration(const Coloring& prior, const Coloring& now) {
+  long moved = 0;
+  const std::size_t n = std::min(prior.color.size(), now.color.size());
+  for (std::size_t v = 0; v < n; ++v)
+    if (prior.color[v] != now.color[v]) ++moved;
+  return moved;
+}
+
 }  // namespace
 
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
@@ -94,6 +103,22 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   splitter.set_exec_control(options.exec);
   splitter.set_diagnostics(options.diagnostics);
   options.exec.check();
+
+  if (options.prior != nullptr) {
+    // Incremental-first: seeded refinement over the dirty region.  When
+    // the escalation certificate fires, fall back to a full solve with the
+    // prior stripped — that path is the ordinary pipeline, so it keeps the
+    // bit-identical warm/cold/threaded contract — and report the migration
+    // the caller is about to pay.
+    if (auto inc = try_incremental_repartition(g, w, options, ws)) return *inc;
+    DecomposeOptions full = options;
+    full.prior = nullptr;
+    DecomposeResult out = decompose(g, w, full, splitter, ws);
+    out.escalated = true;
+    out.migration_cost = count_migration(*options.prior->coloring, out.coloring);
+    return out;
+  }
+
   DecomposeWorkspace local_ws;
   DecomposeWorkspace& wsr = ws ? *ws : local_ws;
 
@@ -179,6 +204,112 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   return out;
 }
 
+std::optional<DecomposeResult> try_incremental_repartition(
+    const Graph& g, std::span<const double> w, const DecomposeOptions& options,
+    DecomposeWorkspace* ws) {
+  MMD_REQUIRE(options.prior != nullptr,
+              "incremental repartition requires options.prior");
+  const PriorSolution& prior = *options.prior;
+  MMD_REQUIRE(prior.coloring != nullptr, "prior solution has no coloring");
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g.num_vertices(),
+              "weight arity mismatch");
+  options.exec.check();
+
+  const Coloring& pc = *prior.coloring;
+  const Vertex n = g.num_vertices();
+  // Structural certificate: the prior must be a total k-coloring of this
+  // exact graph with the requested k (and k > 1 — nothing to refine below
+  // that).  Any mismatch escalates rather than throws: a stale prior is a
+  // served-request condition, not a caller bug.
+  if (pc.k != options.k || options.k <= 1 ||
+      static_cast<Vertex>(pc.color.size()) != n || !pc.is_total())
+    return std::nullopt;
+
+  // Balance certificate: the prior must still fit balance_headroom x the
+  // Definition 1 window under the NEW weights.  Recomputed fresh (O(n))
+  // rather than trusted from the carried stats — robustness beats the
+  // constant factor, and with the default headroom of 1.0 every served
+  // incremental result is strictly balanced (refinement preserves it).
+  const BalanceReport pre = balance_report(w, pc);
+  if (pre.max_dev > options.incremental.balance_headroom * pre.strict_bound +
+                        1e-9 * std::max(1.0, pre.avg))
+    return std::nullopt;
+
+  Timer total_timer;
+  DecomposeWorkspace local_ws;
+  DecomposeWorkspace& wsr = ws ? *ws : local_ws;
+  RefineWorkspace& rw = wsr.refine;
+
+  // Dirty region = every vertex of a delta-touched class plus the foreign
+  // vertices adjacent to one (the boundary of those classes).  Class
+  // marking is set-union, so duplicate dirty entries are harmless; an
+  // empty dirty span marks nothing and the seeded refinement is a no-op.
+  if (rw.class_dirty.size() < static_cast<std::size_t>(pc.k))
+    rw.class_dirty.resize(static_cast<std::size_t>(pc.k));
+  std::fill(rw.class_dirty.begin(), rw.class_dirty.begin() + pc.k,
+            std::uint8_t{0});
+  for (const Vertex v : prior.dirty) {
+    MMD_REQUIRE(v >= 0 && v < n, "dirty vertex out of range");
+    rw.class_dirty[static_cast<std::size_t>(pc[v])] = 1;
+  }
+  rw.seed.clear();
+  for (Vertex v = 0; v < n; ++v) {
+    bool in = rw.class_dirty[static_cast<std::size_t>(pc[v])] != 0;
+    if (!in) {
+      for (const HalfEdge& h : g.incidence(v)) {
+        if (rw.class_dirty[static_cast<std::size_t>(pc[h.to])] != 0) {
+          in = true;
+          break;
+        }
+      }
+    }
+    if (in) rw.seed.push_back(v);
+  }
+  if (static_cast<double>(rw.seed.size()) >
+      options.incremental.max_dirty_fraction * static_cast<double>(n))
+    return std::nullopt;
+
+  DecomposeResult out;
+  out.sigma_p = options.sigma_p > 0.0 ? options.sigma_p
+                                      : default_sigma_p(g, options.p);
+  out.bound = theorem4_bound(g, options.p, out.sigma_p, options.k);
+  out.coloring = pc;  // refined in place below
+
+  Timer phase_timer;
+  MinmaxRefineOptions refine = options.refine;
+  refine.exec = options.exec;
+  // Seeded mode is a worklist-engine feature; force it so a Sweep-
+  // configured caller still gets the localized (and empty-seed no-op)
+  // semantics the incremental contract promises.
+  refine.engine = RefineEngine::Worklist;
+  refine.seeded = true;
+  refine.seed = std::span<const Vertex>(rw.seed);
+  out.refine_stats = minmax_refine(g, out.coloring, w, refine, &rw);
+  out.phase_refine = report_phase(g, w, out.coloring, phase_timer.seconds());
+
+  out.balance = balance_report(w, out.coloring);
+  const auto bc = class_boundary_costs(g, out.coloring);
+  out.max_boundary = norm_inf(bc);
+  out.avg_boundary = norm1(bc) / options.k;
+
+  // Boundary-growth envelope against the last FULL solve.  Boundary cost
+  // is weight-independent and seeded refinement is monotone non-increasing
+  // from the prior, so along an incremental chain this fires only when the
+  // chain has genuinely drifted past the envelope.
+  const double baseline = prior.baseline_max_boundary > 0.0
+                              ? prior.baseline_max_boundary
+                              : prior.max_boundary;
+  if (baseline > 0.0 && out.max_boundary >
+                            options.incremental.max_boundary_growth * baseline +
+                                1e-9)
+    return std::nullopt;
+
+  out.migration_cost = count_migration(pc, out.coloring);
+  out.incremental = true;
+  out.total_seconds = total_timer.seconds();
+  return out;
+}
+
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
                           const DecomposeOptions& options,
                           DecomposeWorkspace* ws) {
@@ -186,6 +317,12 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
   // Callers that decompose the same graph repeatedly should hold a
   // DecomposeContext instead and get this build cost exactly once.
   DecomposeContext ctx(g, options, ws);
+  if (options.prior != nullptr) {
+    // The context strips `prior` from its cached options (a borrowed
+    // pointer must not outlive this call), so route prior-bearing options
+    // through the splitter overload against the context's wired splitter.
+    return mmd::decompose(g, w, options, ctx.splitter(), &ctx.workspace());
+  }
   return ctx.decompose(w);
 }
 

@@ -43,6 +43,56 @@ enum class InitMethod {
   Best,       ///< run both, keep the cheaper strictly balanced coloring
 };
 
+/// One vertex-weight update: `weight` is the vertex's NEW absolute weight
+/// (not an increment), so applying the same delta twice is a no-op — the
+/// idempotence the retry-after-fault contract of the repartition path
+/// relies on (see DecomposeContext::update_weights).
+struct WeightDelta {
+  Vertex v = 0;
+  double weight = 0.0;
+};
+
+/// A borrowed previous solution threaded into decompose() as a seed.
+/// Everything here is borrowed and must outlive the call; the contexts
+/// (DecomposeContext::repartition) assemble one from their cached state —
+/// standalone callers can too.
+struct PriorSolution {
+  const Coloring* coloring = nullptr;   ///< previous solution (required)
+  /// Per-class weight sums of `coloring` under the CURRENT weights
+  /// (carried stats; the contexts maintain them incrementally per delta).
+  std::span<const double> class_weights;
+  double max_boundary = 0.0;  ///< ||d chi^-1||_inf of `coloring`
+  /// max_boundary recorded at the last FULL solve: the reference the
+  /// boundary-growth escalation envelope is measured against (incremental
+  /// refinement only ever lowers the boundary, so drift accumulates
+  /// relative to this, not to the previous incremental step).
+  double baseline_max_boundary = 0.0;
+  /// Vertices whose weight changed since `coloring` was produced.  Empty
+  /// means "nothing changed" (NOT "unknown"): the seeded refinement then
+  /// visits nothing and the call is a cheap no-op returning the prior.
+  std::span<const Vertex> dirty;
+};
+
+/// Escalation certificate of the incremental repartition path: when any
+/// threshold is exceeded the prior is abandoned and decompose() falls back
+/// to a full re-decompose (DecomposeResult::escalated).
+struct IncrementalOptions {
+  /// The prior must still fit `balance_headroom` x the Definition 1 window
+  /// under the new weights; 1.0 = the strict window itself, so the
+  /// incremental result is strictly balanced whenever it is served.
+  double balance_headroom = 1.0;
+  /// Escalate when the incremental max boundary exceeds this multiple of
+  /// PriorSolution::baseline_max_boundary.  Defensive envelope: boundary
+  /// cost is weight-independent and refinement is monotone, so along an
+  /// incremental chain this rarely fires — balance drift is the operative
+  /// trigger.
+  double max_boundary_growth = 1.5;
+  /// Escalate when the dirty region (vertices in delta-touched classes
+  /// plus their boundary) exceeds this fraction of the graph — past that
+  /// the seeded refinement approaches a full sweep anyway.
+  double max_dirty_fraction = 0.75;
+};
+
 /// Tuning knobs of the Theorem 4 pipeline.  The defaults reproduce the
 /// paper's guarantees; everything else is practical engineering
 /// (docs/API.md walks through each knob with examples).
@@ -112,6 +162,16 @@ struct DecomposeOptions {
   /// nullptr (default) counts nowhere; the library never writes to
   /// stderr.  Must outlive every call using these options.
   DecomposeDiagnostics* diagnostics = nullptr;
+
+  /// Previous solution to seed from (borrowed; nullptr = solve cold).
+  /// When set, decompose() first attempts the incremental path — seeded
+  /// worklist refinement over the dirty region — and falls back to a full
+  /// re-decompose (with `escalated` set in the result) whenever the
+  /// `incremental` escalation certificate fires.  DecomposeContext strips
+  /// this pointer when caching options (it would dangle); use
+  /// DecomposeContext::repartition for the cached-prior flow.
+  const PriorSolution* prior = nullptr;
+  IncrementalOptions incremental;  ///< escalation thresholds (prior != nullptr)
 };
 
 /// Timing and quality snapshot taken after one pipeline phase.
@@ -134,6 +194,11 @@ struct DecomposeResult {
   PhaseReport phase_multibalance, phase_strictify, phase_binpack, phase_refine;
   MinmaxRefineStats refine_stats;  ///< phase 4 move/round counters
   double total_seconds = 0.0;      ///< end-to-end wall time
+  /// Vertices whose class differs from options.prior->coloring, or -1 when
+  /// no prior was supplied (a cold solve has no migration to measure).
+  long migration_cost = -1;
+  bool incremental = false;  ///< served by the seeded-refinement fast path
+  bool escalated = false;    ///< prior supplied but certificate forced full solve
 };
 
 /// Decompose with an externally provided splitter (the low-level core).
@@ -168,6 +233,18 @@ DecomposeResult decompose(const Graph& g, std::span<const double> w,
 DecomposeResult decompose(const Graph& g, std::span<const double> w,
                           const DecomposeOptions& options,
                           DecomposeWorkspace* ws = nullptr);
+
+/// The incremental repartition attempt on its own: seeded worklist
+/// refinement of `options.prior` over the dirty region, or std::nullopt
+/// when the escalation certificate fires (prior structurally unusable, no
+/// longer within the balance headroom under `w`, dirty region too large,
+/// or refined boundary outside the growth envelope).  decompose() calls
+/// this first whenever options.prior is set; it is exposed so the contexts
+/// (and tests) can attempt the cheap path without committing to the full
+/// fallback.  Requires options.prior != nullptr with a non-null coloring.
+std::optional<DecomposeResult> try_incremental_repartition(
+    const Graph& g, std::span<const double> w, const DecomposeOptions& options,
+    DecomposeWorkspace* ws = nullptr);
 
 /// The multi-balanced variant of Theorem 4 (Conclusion): a k-coloring that
 /// is strictly balanced w.r.t. `psi`, weakly balanced w.r.t. every extra

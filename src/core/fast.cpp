@@ -1,5 +1,8 @@
 #include "core/fast.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/binpack.hpp"
 #include "graph/coarsen.hpp"
 #include "util/norms.hpp"
@@ -33,6 +36,9 @@ void FastContext::reconcile(const FastOptions& options) {
   const bool fine_splitter_stale =
       options.inner.splitter != options_.inner.splitter;
   options_ = options;
+  // Same anti-dangling rule as DecomposeContext::reconcile: a borrowed
+  // prior pointer is per-call state, never cached.
+  options_.inner.prior = nullptr;
 
   if (hierarchy_stale) {
     levels_built_ = false;
@@ -219,6 +225,121 @@ FastResult FastContext::decompose(std::span<const double> w,
   return decompose(w);
 }
 
+void FastContext::set_weights(std::span<const double> w) {
+  ExclusiveUse::Claim claim = claim_use();
+  MMD_REQUIRE(static_cast<Vertex>(w.size()) == g_->num_vertices(),
+              "weight arity mismatch");
+  for (const double x : w)
+    MMD_REQUIRE(std::isfinite(x) && x >= 0.0,
+                "weights must be finite and non-negative");
+  if (weights_bound_ && prior_valid_) {
+    // A rebind is one big delta batch (see DecomposeContext::set_weights).
+    std::vector<Vertex> changed;
+    for (std::size_t v = 0; v < w.size(); ++v)
+      if (w[v] != weights_[v]) changed.push_back(static_cast<Vertex>(v));
+    pending_dirty_.reserve(pending_dirty_.size() + changed.size());
+    std::vector<double> next(w.begin(), w.end());
+    for (std::size_t i = 0; i < prior_class_weights_.size(); ++i)
+      prior_class_weights_[i] = 0.0;
+    for (std::size_t v = 0; v < w.size(); ++v)
+      prior_class_weights_[static_cast<std::size_t>(prior_coloring_.color[v])] +=
+          w[v];
+    weights_ = std::move(next);
+    pending_dirty_.insert(pending_dirty_.end(), changed.begin(), changed.end());
+  } else {
+    weights_.assign(w.begin(), w.end());
+  }
+  weights_bound_ = true;
+}
+
+std::size_t FastContext::update_weights(std::span<const WeightDelta> deltas) {
+  ExclusiveUse::Claim claim = claim_use();
+  MMD_REQUIRE(weights_bound_,
+              "update_weights requires set_weights (no base weight vector "
+              "is bound to this context)");
+  const auto n = static_cast<Vertex>(weights_.size());
+  // Validate, reserve, then a nothrow apply loop — identical atomicity
+  // and retry contract as DecomposeContext::update_weights.
+  for (const WeightDelta& d : deltas) {
+    MMD_REQUIRE(d.v >= 0 && d.v < n, "weight delta vertex out of range");
+    MMD_REQUIRE(std::isfinite(d.weight) && d.weight >= 0.0,
+                "weight delta must be finite and non-negative");
+  }
+  pending_dirty_.reserve(pending_dirty_.size() + deltas.size());
+  for (const WeightDelta& d : deltas) {
+    const auto v = static_cast<std::size_t>(d.v);
+    if (prior_valid_) {
+      prior_class_weights_[static_cast<std::size_t>(prior_coloring_.color[v])] +=
+          d.weight - weights_[v];
+    }
+    weights_[v] = d.weight;
+    pending_dirty_.push_back(d.v);
+  }
+  return deltas.size();
+}
+
+FastResult FastContext::repartition(std::span<const WeightDelta> deltas) {
+  ExclusiveUse::Claim claim = claim_use();
+  MMD_REQUIRE(weights_bound_,
+              "repartition requires set_weights (no base weight vector is "
+              "bound to this context)");
+  update_weights(deltas);
+  ++stats_.repartition_calls;
+  FastResult out;
+  if (prior_valid_) {
+    PriorSolution ps;
+    ps.coloring = &prior_coloring_;
+    ps.class_weights = prior_class_weights_;
+    ps.max_boundary = prior_max_boundary_;
+    ps.baseline_max_boundary = prior_baseline_boundary_;
+    ps.dirty = pending_dirty_;
+    DecomposeOptions dopt = options_.inner;
+    dopt.prior = &ps;
+    // The prior is already at full resolution, so the seeded path runs
+    // directly on the host graph — no coarsening, projection, or closing
+    // pass involved.  The hierarchy stays cached for escalations.
+    if (auto inc = try_incremental_repartition(*g_, weights_, dopt, ws_)) {
+      out.coloring = std::move(inc->coloring);
+      out.balance = inc->balance;
+      out.max_boundary = inc->max_boundary;
+      out.avg_boundary = inc->avg_boundary;
+      out.levels = static_cast<int>(levels_.size());
+      out.total_seconds = inc->total_seconds;
+      out.migration_cost = inc->migration_cost;
+      out.incremental = true;
+      ++stats_.incremental_served;
+    }
+  }
+  if (!out.incremental) {
+    FastResult full = decompose(weights_);  // nested claim: same thread
+    if (prior_valid_) {
+      full.escalated = true;
+      ++stats_.escalations;
+      long moved = 0;
+      const std::size_t n = std::min(prior_coloring_.color.size(),
+                                     full.coloring.color.size());
+      for (std::size_t v = 0; v < n; ++v)
+        if (prior_coloring_.color[v] != full.coloring.color[v]) ++moved;
+      full.migration_cost = moved;
+    }
+    out = std::move(full);
+  }
+  // Adopt only verified-quality solutions as the chain's new prior: a
+  // degraded (deadline-projected) coloring would seed the next call from
+  // a solution without the strict guarantee.
+  if (!out.degraded) {
+    Coloring adopted = out.coloring;
+    std::vector<double> cw = class_measure(weights_, adopted);
+    prior_coloring_ = std::move(adopted);
+    prior_class_weights_ = std::move(cw);
+    prior_max_boundary_ = out.max_boundary;
+    if (!out.incremental) prior_baseline_boundary_ = out.max_boundary;
+    prior_valid_ = true;
+    pending_dirty_.clear();
+  }
+  return out;
+}
+
 std::size_t FastContext::memory_estimate_bytes() const {
   std::size_t total = sizeof(*this) + own_ws_.memory_bytes();
   for (const Level& level : levels_) {
@@ -226,6 +347,10 @@ std::size_t FastContext::memory_estimate_bytes() const {
              level.weights.capacity() * sizeof(double) +
              level.parent.capacity() * sizeof(Vertex);
   }
+  total += weights_.capacity() * sizeof(double) +
+           prior_coloring_.color.capacity() * sizeof(std::int32_t) +
+           prior_class_weights_.capacity() * sizeof(double) +
+           pending_dirty_.capacity() * sizeof(Vertex);
   if (coarse_ctx_ != nullptr) total += coarse_ctx_->memory_estimate_bytes();
   if (fine_splitter_ != nullptr) {
     // Same per-vertex splitter estimate as DecomposeContext's.

@@ -90,7 +90,10 @@ class Refiner {
         // boundary at the previous round's start or a neighbor moved in
         // between — so the previous seeds plus the dirtied vertices cover
         // the new boundary, and the O(n + m) full scan is needed once.
-        if (!(have_cands ? seed_from_candidates() : seed_full())) break;
+        const bool seeded_round0 = round == 0 && opt_.seeded;
+        if (!(have_cands ? seed_from_candidates()
+                         : seeded_round0 ? seed_from_span() : seed_full()))
+          break;
         dense = ws_.queue.size() * 8 > static_cast<std::size_t>(n_);
         have_cands = false;
       }
@@ -213,6 +216,19 @@ class Refiner {
     bump_epoch();
     for (Vertex v = 0; v < n_; ++v)
       if (is_boundary(v)) push(v);
+    return !ws_.queue.empty();
+  }
+
+  /// Seeded round 0 (MinmaxRefineOptions::seeded): visit only the boundary
+  /// members of the caller-supplied span.  Duplicates collapse via the
+  /// epoch stamp; the sort restores the sweep's id order.  An empty seed
+  /// returns false — the caller asked for "refine nothing".
+  bool seed_from_span() {
+    ws_.queue.clear();
+    bump_epoch();
+    for (const Vertex v : opt_.seed)
+      if (is_boundary(v)) push(v);
+    std::sort(ws_.queue.begin(), ws_.queue.end());
     return !ws_.queue.empty();
   }
 

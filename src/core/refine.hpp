@@ -51,6 +51,16 @@ struct MinmaxRefineOptions {
   /// refined) state when the check throws.  decompose() copies its own
   /// exec here; standalone callers may set it directly.
   ExecControl exec;
+  /// Seeded mode (worklist engine only; the sweep engine ignores both
+  /// fields): round 0 visits only the boundary members of `seed` instead
+  /// of the full cut.  Later rounds re-feed from accepted moves as usual,
+  /// so the climb stays localized to the region `seed` can reach.  With
+  /// seeded == true and an empty span the round-0 queue is empty and the
+  /// call is a no-op — "nothing changed" must not trigger a full sweep.
+  /// `seed` is borrowed; duplicates are deduplicated, order is irrelevant
+  /// (the queue is sorted by id before the round runs).
+  bool seeded = false;
+  std::span<const Vertex> seed;
 };
 
 /// Work and progress counters of one minmax_refine call.

@@ -39,8 +39,10 @@ std::size_t DecomposeWorkspace::memory_bytes() const {
             refine.in_queue.capacity()) *
            sizeof(std::int32_t);
   total += (refine.queue.capacity() + refine.heap.capacity() +
-            refine.dirty.capacity() + refine.cand.capacity()) *
+            refine.dirty.capacity() + refine.cand.capacity() +
+            refine.seed.capacity()) *
            sizeof(Vertex);
+  total += refine.class_dirty.capacity() * sizeof(std::uint8_t);
   return total;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace mmd::jsonl {
@@ -118,6 +119,11 @@ bool parse_value(Cursor& c, Value& out, std::string& error) {
   auto [ptr, ec] = std::from_chars(begin, end, num);
   if (ec != std::errc() || ptr == begin)
     return fail(error, c, "expected a value");
+  // from_chars accepts "inf"/"nan" spellings and overflows like 1e999 to
+  // infinity; JSON has no such values, and letting one through would put
+  // a non-finite weight on the wire.
+  if (!std::isfinite(num))
+    return fail(error, c, "non-finite numbers are not valid JSON");
   out.kind = Value::Kind::Number;
   out.number = num;
   c.i += static_cast<std::size_t>(ptr - begin);
@@ -267,6 +273,47 @@ bool get_bool(const Object& o, const std::string& key, bool def,
 
 bool has(const Object& o, const std::string& key) {
   return o.find(key) != o.end();
+}
+
+bool parse_pair_list(const std::string& s,
+                     std::vector<std::pair<long, double>>& out,
+                     std::string& error) {
+  error.clear();
+  std::vector<std::pair<long, double>> parsed;
+  const char* p = s.data();
+  const char* const end = s.data() + s.size();
+  while (true) {
+    while (p != end && (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n'))
+      ++p;
+    if (p == end) break;
+    const char* const tok = p;
+    long idx = 0;
+    auto [ip, iec] = std::from_chars(p, end, idx);
+    if (iec != std::errc() || ip == end || *ip != ':' || idx < 0) {
+      error = "malformed delta pair at offset " +
+              std::to_string(tok - s.data()) +
+              " (expected '<index>:<weight>' with a non-negative index)";
+      return false;
+    }
+    p = ip + 1;
+    double val = 0.0;
+    auto [vp, vec] = std::from_chars(p, end, val);
+    if (vec != std::errc() || vp == p || !std::isfinite(val) || val < 0.0) {
+      error = "malformed delta pair at offset " +
+              std::to_string(tok - s.data()) +
+              " (weight must be a finite non-negative number)";
+      return false;
+    }
+    if (vp != end && *vp != ' ' && *vp != '\t' && *vp != '\r' && *vp != '\n') {
+      error = "malformed delta pair at offset " +
+              std::to_string(tok - s.data()) + " (trailing characters)";
+      return false;
+    }
+    parsed.emplace_back(idx, val);
+    p = vp;
+  }
+  out.insert(out.end(), parsed.begin(), parsed.end());
+  return true;
 }
 
 }  // namespace mmd::jsonl

@@ -67,4 +67,14 @@ bool get_bool(const Object& o, const std::string& key, bool def,
 /// True when `key` is present (any type).
 bool has(const Object& o, const std::string& key);
 
+/// Parse a whitespace-separated "index:value" pair list — the wire
+/// encoding of weight deltas ("0:2.5 17:0.75"), carried inside a JSON
+/// string because this protocol rejects arrays.  Appends nothing on
+/// failure; an empty or whitespace-only input is a valid empty list.
+/// Rejects negative indices, non-finite or negative values, and any
+/// malformed pair, with a human-readable message in `error`.
+bool parse_pair_list(const std::string& s,
+                     std::vector<std::pair<long, double>>& out,
+                     std::string& error);
+
 }  // namespace mmd::jsonl

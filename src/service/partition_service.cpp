@@ -242,6 +242,29 @@ void PartitionService::execute_one(GraphState* gs, Pending& p) {
       resp.max_boundary = r.max_boundary;
       resp.avg_boundary = r.avg_boundary;
       resp.status = ServiceStatus::Ok;
+    } else if (req.mode == RequestMode::Repartition) {
+      MMD_REQUIRE(req.weights.empty(),
+                  "repartition expresses drift via deltas; a full weight "
+                  "vector is not accepted (use mode decompose, or rebind "
+                  "by reloading the graph)");
+      warm = gs->ctx != nullptr;
+      if (!warm) {
+        DecomposeOptions copt = opt;
+        copt.exec = ExecControl{};
+        gs->ctx = std::make_unique<DecomposeContext>(gs->graph, copt);
+      }
+      // First repartition on this context: bind the chain's base weights
+      // from the graph's registered weights.
+      if (!gs->ctx->has_weights()) gs->ctx->set_weights(gs->weights);
+      DecomposeResult r = gs->ctx->repartition(req.deltas, opt);
+      resp.coloring = std::move(r.coloring);
+      resp.balance = r.balance;
+      resp.max_boundary = r.max_boundary;
+      resp.avg_boundary = r.avg_boundary;
+      resp.migration_cost = r.migration_cost;
+      resp.incremental = r.incremental;
+      resp.escalated = r.escalated;
+      resp.status = ServiceStatus::Ok;
     } else {
       warm = gs->fctx != nullptr;
       FastOptions fo;
@@ -296,6 +319,10 @@ void PartitionService::execute_one(GraphState* gs, Pending& p) {
     ++stats_.ok;
   } else {
     ++stats_.errors;
+  }
+  if (req.mode == RequestMode::Repartition && resp.ok()) {
+    ++stats_.repartitions;
+    if (resp.escalated) ++stats_.repartition_escalations;
   }
   if (gs != nullptr) {
     if (warm) {

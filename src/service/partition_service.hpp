@@ -72,8 +72,10 @@ enum class ServiceStatus {
 const char* to_string(ServiceStatus status);
 
 enum class RequestMode {
-  Decompose,  ///< full Theorem 4 pipeline (DecomposeContext)
-  Fast,       ///< multilevel fast mode (FastContext)
+  Decompose,    ///< full Theorem 4 pipeline (DecomposeContext)
+  Fast,         ///< multilevel fast mode (FastContext)
+  Repartition,  ///< incremental solve seeded from the graph's cached prior
+                ///< (DecomposeContext::repartition; see `deltas`)
 };
 
 /// One decomposition request against a registered graph.
@@ -89,8 +91,18 @@ struct ServiceRequest {
   /// when it is enqueued), so queueing delay does not eat the budget.
   /// < 0 = none.  Combines with options.exec.deadline: the earlier wins.
   long timeout_ms = -1;
-  /// Vertex weights; empty = the graph's registered weights.
+  /// Vertex weights; empty = the graph's registered weights.  Must stay
+  /// empty for RequestMode::Repartition (drift is expressed via `deltas`;
+  /// mixing both is a BadRequest).
   std::vector<double> weights;
+  /// Weight deltas of a Repartition request, applied to the graph's warm
+  /// context before solving.  The chain's base weights are bound from the
+  /// registered weights on the first repartition.  Deltas carry absolute
+  /// weights and the context clears its dirty set only on success, so a
+  /// request that fails with a retryable status (deadline, cancel,
+  /// resource_exhausted) leaves the chain consistent: re-sending the same
+  /// request returns the bit-identical result of an unfaulted first try.
+  std::vector<WeightDelta> deltas;
   // Fast-mode knobs (RequestMode::Fast only); defaults match FastOptions.
   int fast_coarse_target = 4096;
   int fast_max_levels = 24;
@@ -109,6 +121,10 @@ struct ServiceResponse {
   bool warm = false;      ///< the serving context existed before this request
   bool degraded = false;  ///< fast-mode best-effort result (status Degraded)
   double seconds = 0.0;   ///< service-side execution time (excludes queueing)
+  // Repartition outcome (RequestMode::Repartition only):
+  long migration_cost = -1;  ///< vertices that changed class vs the prior
+  bool incremental = false;  ///< served by the seeded path
+  bool escalated = false;    ///< certificate fired; full solve served
 
   bool ok() const {
     return status == ServiceStatus::Ok || status == ServiceStatus::Degraded;
@@ -125,6 +141,8 @@ struct ServiceStats {
   long context_evictions = 0;  ///< contexts dropped by the byte budget
   long rounds = 0;          ///< leader rounds executed
   long batched_requests = 0;   ///< requests that shared a round with others
+  long repartitions = 0;           ///< Repartition requests executed
+  long repartition_escalations = 0;  ///< of those, escalated to full solves
   std::size_t cached_bytes = 0;   ///< current context-budget usage
   std::size_t graphs_loaded = 0;  ///< registry size
   double p50_seconds = 0.0, p95_seconds = 0.0, p99_seconds = 0.0;

@@ -146,6 +146,56 @@ case "$err_out" in
   *) echo "FAIL: serve malformed-load session: $err_out" >&2; fails=$((fails + 1)) ;;
 esac
 
+# 11. --repartition one-shot: base solve + delta re-solve on one context;
+#     --verify certifies the final (drifted) weights before writing.
+deltas="$tmp/drift.deltas"
+echo "0:3.5 4:2.0 8:0.25" > "$deltas"
+"$bin" -k 3 --quiet --verify --repartition "$deltas" -o "$tmp/rep.part" "$good"
+check "--repartition one-shot" 0 $?
+[ -s "$tmp/rep.part" ] || { echo "FAIL: no repartition output written" >&2; fails=$((fails + 1)); }
+
+# 12. Malformed deltas file -> exit 2 (bad input), nothing written.
+printf '0:1.5 nonsense\n' > "$tmp/bad.deltas"
+"$bin" -k 3 --quiet --repartition "$tmp/bad.deltas" -o "$tmp/rep2.part" "$good" 2> /dev/null
+check "malformed deltas file" 2 $?
+[ -e "$tmp/rep2.part" ] && { echo "FAIL: malformed-deltas run wrote output" >&2; fails=$((fails + 1)); }
+
+# 13. --fast has its own chain (FastContext); combining it with the
+#     --repartition demo is bad usage -> exit 2.
+"$bin" -k 3 --fast --quiet --repartition "$deltas" "$good" 2> /dev/null
+check "--fast --repartition is bad usage" 2 $?
+
+# 14. --serve repartition op: first call binds the chain (full solve,
+#     migration_cost -1), a delta follow-up answers with the incremental
+#     fields, a missing k is bad_request, unknown graph is not_found;
+#     the session survives all of it and EOF exits 0.
+rep_out="$tmp/serve_rep.out"
+{
+  echo '{"op":"load","graph":"g","path":"'"$good"'"}'
+  echo '{"op":"repartition","graph":"g","k":3}'
+  echo '{"op":"repartition","graph":"g","k":3,"deltas":"0:3.5 4:2.0"}'
+  echo '{"op":"repartition","graph":"g","deltas":"0:1.0"}'
+  echo '{"op":"repartition","graph":"nope","k":3}'
+  echo '{"op":"repartition","graph":"g","k":3,"deltas":"0:bogus"}'
+} | "$bin" --serve > "$rep_out"
+check "--serve repartition session, EOF exit" 0 $?
+
+rep_line() { sed -n "${1}p" "$rep_out"; }
+expect_rep() {  # expect_rep <name> <line-no> <needle>
+  case "$(rep_line "$2")" in
+    *"$3"*) echo "ok: serve repartition $1" ;;
+    *) echo "FAIL: serve repartition $1: line $2 lacks '$3': $(rep_line "$2")" >&2
+       fails=$((fails + 1)) ;;
+  esac
+}
+expect_rep "chain-binding solve" 2 '"op":"repartition","graph":"g","status":"ok"'
+expect_rep "no prior to migrate from" 2 '"migration_cost":-1'
+expect_rep "delta follow-up ok" 3 '"status":"ok"'
+expect_rep "follow-up carries chain fields" 3 '"incremental":'
+expect_rep "missing k rejected" 4 '"status":"bad_request"'
+expect_rep "unknown graph" 5 '"status":"not_found"'
+expect_rep "bogus deltas rejected" 6 '"status":"bad_request"'
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

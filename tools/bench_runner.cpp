@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -336,6 +337,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
   }
+  // Machine shape stamped into every row so merged artifacts from
+  // different runners stay attributable.
+#ifdef NDEBUG
+  const char* const build_type = "Release";
+#else
+  const char* const build_type = "Debug";
+#endif
+  const unsigned host_cores = std::thread::hardware_concurrency();
   std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"rows\": [\n", label);
   for (std::size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
@@ -344,10 +353,11 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"suite\": \"%s\", \"config\": \"%s\", \"side\": %d, "
                  "\"n\": %d, \"k\": %d, \"mode\": \"%s\", \"ms\": %.3f, "
-                 "\"max_boundary\": %.3f%s}%s\n",
+                 "\"max_boundary\": %.3f%s, \"host_cores\": %u, "
+                 "\"build_type\": \"%s\"}%s\n",
                  r.suite.c_str(), r.config.c_str(), r.side, r.n, r.k,
                  r.mode.c_str(), r.ms, r.max_boundary, moves.c_str(),
-                 i + 1 < g_rows.size() ? "," : "");
+                 host_cores, build_type, i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

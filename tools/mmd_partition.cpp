@@ -15,6 +15,13 @@
 //                      best-effort partition instead, still exit 3)
 //   --verify           check the verify.cpp certificate BEFORE writing any
 //                      output; a failed certificate writes nothing
+//   --repartition <f>  incremental repartitioning demo: solve once with the
+//                      file's weights, apply the weight deltas in <f>
+//                      (whitespace-separated "vertex:weight" pairs, absolute
+//                      new weights), and re-solve seeded from the first
+//                      solution (escalating to a full solve if the
+//                      certificate fires).  Incompatible with --fast.
+//                      -o/--image/--verify apply to the final partition.
 //   --image <path>     render the partition as a PPM (2-D instances)
 //   --compare          also run greedy / recursive-bisection baselines
 //   --quiet            suppress the report table
@@ -35,14 +42,19 @@
 //
 // reads one JSON object per line from stdin and answers one JSON object
 // per line on stdout, fronting a PartitionService (warm contexts, LRU
-// byte budget, request batching).  Ops: load, decompose, stats, evict,
-// shutdown.  Request errors — malformed JSON included — are answered
+// byte budget, request batching).  Ops: load, decompose, repartition,
+// stats, evict, shutdown.  The repartition op carries weight deltas in a
+// "deltas" string field ("v:w v:w ...", absolute new weights) and answers
+// with migration_cost/incremental/escalated alongside the usual quality
+// fields.  Request errors — malformed JSON included — are answered
 // in-band ({"ok":false,...}) and never kill the session; the process
 // exits 0 on stdin EOF or a shutdown op (2 only for bad --serve usage).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "service/jsonl.hpp"
@@ -67,6 +79,7 @@ namespace {
                "       [--splitter auto|prefix|grid] [--init best|paper|bisection]\n"
                "       [--window-scan] [--threads <n>] [--fork-depth <d>]\n"
                "       [--timeout-ms <ms>] [--image <ppm>]\n"
+               "       [--repartition <deltas-file>]\n"
                "       [--compare] [--quiet] [--verify] <input.graph>\n"
                "       %s --serve [--budget-kb <kb>] [--queue <n>] "
                "[--workers <n>]\n",
@@ -89,7 +102,20 @@ bool request_from_json(const mmd::jsonl::Object& obj, mmd::ServiceRequest& req,
   const std::string mode = get_string(obj, "mode", "full", error);
   if (mode == "full") req.mode = mmd::RequestMode::Decompose;
   else if (mode == "fast") req.mode = mmd::RequestMode::Fast;
-  else if (error.empty()) error = "field 'mode' must be \"full\" or \"fast\"";
+  else if (mode == "repartition") req.mode = mmd::RequestMode::Repartition;
+  else if (error.empty())
+    error = "field 'mode' must be \"full\", \"fast\", or \"repartition\"";
+
+  // Weight deltas ride in a string field (this protocol has no arrays):
+  // whitespace-separated "vertex:weight" pairs, absolute new weights.
+  const std::string deltas = get_string(obj, "deltas", "", error);
+  if (!deltas.empty() && error.empty()) {
+    std::vector<std::pair<long, double>> pairs;
+    if (!mmd::jsonl::parse_pair_list(deltas, pairs, error)) return false;
+    req.deltas.reserve(pairs.size());
+    for (const auto& [v, weight] : pairs)
+      req.deltas.push_back({static_cast<mmd::Vertex>(v), weight});
+  }
 
   req.options.k = static_cast<int>(get_number(obj, "k", 0, error));
   if (req.options.k < 1 && error.empty()) error = "field 'k' must be >= 1";
@@ -210,6 +236,46 @@ int serve_main(const mmd::PartitionServiceOptions& service_options) {
         w.add("error", resp.error);
       }
       emit(w);
+    } else if (op == "repartition") {
+      ServiceRequest req;
+      bool include_partition = false;
+      if (!request_from_json(obj, req, include_partition, error)) {
+        emit_error("repartition", error);
+        continue;
+      }
+      req.mode = RequestMode::Repartition;  // the op implies the mode
+      const ServiceResponse resp = service.execute(req);
+      jsonl::Writer w;
+      w.add("ok", resp.ok())
+          .add("op", "repartition")
+          .add("graph", req.graph)
+          .add("status", to_string(resp.status));
+      if (resp.ok()) {
+        // Deterministic payload only, like the decompose op: the chain's
+        // state is a function of the request sequence, so two identical
+        // sessions answer byte-identically.
+        w.add("k", static_cast<long>(resp.coloring.k))
+            .add("max_boundary", resp.max_boundary)
+            .add("avg_boundary", resp.avg_boundary)
+            .add("max_dev", resp.balance.max_dev)
+            .add("strict", resp.balance.strictly_balanced)
+            .add("migration_cost", resp.migration_cost)
+            .add("incremental", resp.incremental)
+            .add("escalated", resp.escalated)
+            .add("warm", resp.warm);
+        if (include_partition) {
+          std::string part;
+          part.reserve(resp.coloring.color.size() * 2);
+          for (std::size_t v = 0; v < resp.coloring.color.size(); ++v) {
+            if (v > 0) part.push_back(' ');
+            part.append(std::to_string(resp.coloring.color[v]));
+          }
+          w.add("partition", part);
+        }
+      } else {
+        w.add("error", resp.error);
+      }
+      emit(w);
     } else if (op == "stats") {
       const ServiceStats s = service.stats();
       jsonl::Writer w;
@@ -224,6 +290,8 @@ int serve_main(const mmd::PartitionServiceOptions& service_options) {
           .add("context_evictions", s.context_evictions)
           .add("rounds", s.rounds)
           .add("batched_requests", s.batched_requests)
+          .add("repartitions", s.repartitions)
+          .add("repartition_escalations", s.repartition_escalations)
           .add("cached_bytes", static_cast<long>(s.cached_bytes))
           .add("graphs_loaded", static_cast<long>(s.graphs_loaded))
           .add("p50_seconds", s.p50_seconds)
@@ -290,7 +358,7 @@ int main(int argc, char** argv) {
   }
   int k = 0;
   double p = 2.0;
-  std::string input, output, image;
+  std::string input, output, image, repartition_file;
   bool fast = false, compare = false, quiet = false, verify = false;
   bool window_scan = false;
   int threads = 1;
@@ -321,6 +389,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--repartition") {
+      repartition_file = next();
     } else if (arg == "--window-scan") {
       window_scan = true;  // min-cost in-window prefixes (SweepMode)
     } else if (arg == "--threads") {
@@ -352,6 +422,9 @@ int main(int argc, char** argv) {
     }
   }
   if (k < 1 || input.empty()) usage(argv[0]);
+  // The incremental chain lives on DecomposeContext; the fast path has its
+  // own (FastContext::repartition) but the demo exercises the full one.
+  if (fast && !repartition_file.empty()) usage(argv[0]);
 
   try {
     const GraphWithWeights in = read_metis_file(input);
@@ -366,6 +439,15 @@ int main(int argc, char** argv) {
     BalanceReport balance;
     double max_b = 0.0, avg_b = 0.0, seconds = 0.0;
     bool degraded = false;
+    // The weights the final partition is certified against: the file's,
+    // or the drifted vector after --repartition applied its deltas.
+    std::vector<double> final_weights = in.weights;
+    // --repartition bookkeeping (base solve metrics + outcome flags).
+    bool did_repartition = false;
+    double base_max_b = 0.0, base_avg_b = 0.0, base_seconds = 0.0;
+    BalanceReport base_balance;
+    long migration_cost = -1;
+    bool rep_incremental = false, rep_escalated = false;
     if (fast) {
       FastOptions opt;
       opt.inner.k = k;
@@ -397,19 +479,58 @@ int main(int argc, char** argv) {
       opt.num_threads = threads;
       opt.fork_depth = fork_depth;
       opt.exec = exec;
-      DecomposeResult res = decompose(g, in.weights, opt);
-      chi = std::move(res.coloring);
-      balance = res.balance;
-      max_b = res.max_boundary;
-      avg_b = res.avg_boundary;
-      seconds = res.total_seconds;
+      if (repartition_file.empty()) {
+        DecomposeResult res = decompose(g, in.weights, opt);
+        chi = std::move(res.coloring);
+        balance = res.balance;
+        max_b = res.max_boundary;
+        avg_b = res.avg_boundary;
+        seconds = res.total_seconds;
+      } else {
+        // Incremental demo: base solve, then re-solve seeded from it
+        // after applying the file's absolute weight deltas.
+        std::ifstream df(repartition_file);
+        if (!df)
+          throw std::invalid_argument("cannot read delta file '" +
+                                      repartition_file + "'");
+        std::string text((std::istreambuf_iterator<char>(df)),
+                         std::istreambuf_iterator<char>());
+        std::vector<std::pair<long, double>> pairs;
+        std::string perr;
+        if (!jsonl::parse_pair_list(text, pairs, perr))
+          throw std::invalid_argument("delta file '" + repartition_file +
+                                      "': " + perr);
+        std::vector<WeightDelta> deltas;
+        deltas.reserve(pairs.size());
+        for (const auto& [v, weight] : pairs)
+          deltas.push_back({static_cast<Vertex>(v), weight});
+
+        DecomposeContext ctx(g, opt);
+        ctx.set_weights(in.weights);
+        DecomposeResult base = ctx.repartition();
+        base_max_b = base.max_boundary;
+        base_avg_b = base.avg_boundary;
+        base_balance = base.balance;
+        base_seconds = base.total_seconds;
+        DecomposeResult res = ctx.repartition(deltas);
+        chi = std::move(res.coloring);
+        balance = res.balance;
+        max_b = res.max_boundary;
+        avg_b = res.avg_boundary;
+        seconds = res.total_seconds;
+        migration_cost = res.migration_cost;
+        rep_incremental = res.incremental;
+        rep_escalated = res.escalated;
+        did_repartition = true;
+        final_weights.assign(ctx.weights().begin(), ctx.weights().end());
+      }
     }
 
     // Certificate check FIRST: with --verify no output file is ever
     // written from an uncertified coloring.
     bool verify_ok = true;
     if (verify) {
-      const VerifyReport rep = verify_decomposition(g, in.weights, chi);
+      const VerifyReport rep = verify_decomposition(g, final_weights, chi);
       verify_ok = rep.ok;
       std::printf("verify: %s", rep.ok ? "OK" : "FAILED");
       for (const auto& f : rep.failures) std::printf("\n  - %s", f.c_str());
@@ -425,11 +546,24 @@ int main(int argc, char** argv) {
       Table table("mmd_partition " + input,
                   {"method", "max boundary", "avg boundary", "max |dev|",
                    "strict", "time s"});
-      table.add_row({fast ? "minmax-decomp (fast)" : "minmax-decomp",
-                     Table::num(max_b, 2), Table::num(avg_b, 2),
-                     Table::num(balance.max_dev, 3),
-                     balance.strictly_balanced ? "yes" : "NO",
-                     Table::num(seconds, 3)});
+      if (did_repartition) {
+        table.add_row({"minmax-decomp", Table::num(base_max_b, 2),
+                       Table::num(base_avg_b, 2),
+                       Table::num(base_balance.max_dev, 3),
+                       base_balance.strictly_balanced ? "yes" : "NO",
+                       Table::num(base_seconds, 3)});
+        table.add_row({rep_escalated ? "repartition (full)" : "repartition",
+                       Table::num(max_b, 2), Table::num(avg_b, 2),
+                       Table::num(balance.max_dev, 3),
+                       balance.strictly_balanced ? "yes" : "NO",
+                       Table::num(seconds, 3)});
+      } else {
+        table.add_row({fast ? "minmax-decomp (fast)" : "minmax-decomp",
+                       Table::num(max_b, 2), Table::num(avg_b, 2),
+                       Table::num(balance.max_dev, 3),
+                       balance.strictly_balanced ? "yes" : "NO",
+                       Table::num(seconds, 3)});
+      }
       if (compare) {
         const Coloring greedy =
             greedy_coloring(g, in.weights, k, GreedyOrder::HeaviestFirst);
@@ -451,6 +585,12 @@ int main(int argc, char** argv) {
       table.print();
       std::printf("n=%d m=%d k=%d strict window (1-1/k)||w||_inf = %.4f\n",
                   g.num_vertices(), g.num_edges(), k, balance.strict_bound);
+      if (did_repartition)
+        std::printf("repartition: %s, migrated %ld/%d vertices\n",
+                    rep_incremental ? "incremental"
+                                    : (rep_escalated ? "escalated to full solve"
+                                                     : "full (no prior)"),
+                    migration_cost, g.num_vertices());
     }
     if (degraded) return 3;            // deadline, best-effort result
     if (!verify_ok) return 4;          // our own certificate failed
