@@ -34,6 +34,8 @@ void GraphBuilder::add_edge(Vertex u, Vertex v, double cost) {
   MMD_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "edge endpoint out of range");
   MMD_REQUIRE(u != v, "self-loops are not allowed");
   MMD_REQUIRE(cost >= 0.0 && std::isfinite(cost), "edge cost must be finite and >= 0");
+  MMD_REQUIRE(edges_.size() + 1 < static_cast<std::size_t>(1) << 31,
+              "too many edges");
   if (u > v) std::swap(u, v);
   edges_.push_back({u, v, cost});
 }
@@ -70,59 +72,74 @@ Graph GraphBuilder::build() {
                   "coordinates set for some but not all vertices");
   }
 
-  // Coalesce duplicate edges by summing costs.
+  // The raw edge list is the build's largest transient; drop its growth
+  // slack before anything else is allocated.
+  edges_.shrink_to_fit();
+
   std::sort(edges_.begin(), edges_.end(), [](const RawEdge& a, const RawEdge& b) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
-  std::vector<RawEdge> uniq;
-  uniq.reserve(edges_.size());
-  for (const RawEdge& e : edges_) {
-    if (!uniq.empty() && uniq.back().u == e.u && uniq.back().v == e.v) {
-      uniq.back().cost += e.cost;
+  // Coalesce duplicate edges in place by summing costs (sort + unique —
+  // no side copy of the edge list).
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < edges_.size(); ++r) {
+    if (w > 0 && edges_[w - 1].u == edges_[r].u && edges_[w - 1].v == edges_[r].v) {
+      edges_[w - 1].cost += edges_[r].cost;
     } else {
-      uniq.push_back(e);
+      if (w != r) edges_[w] = edges_[r];
+      ++w;
     }
   }
+  edges_.resize(w);
+  const std::size_t m = w;
+  MMD_REQUIRE(m < static_cast<std::size_t>(1) << 31, "too many edges");
 
   Graph g;
   g.n_ = n_;
-  g.m_ = static_cast<EdgeId>(uniq.size());
-  MMD_REQUIRE(uniq.size() < static_cast<std::size_t>(1) << 31, "too many edges");
+  g.m_ = static_cast<EdgeId>(m);
   g.vweight_ = std::move(vweight_);
   g.dim_ = dim_;
   g.coords_ = std::move(coords_);
 
-  g.etail_.resize(uniq.size());
-  g.ehead_.resize(uniq.size());
-  g.ecost_.resize(uniq.size());
-  std::vector<std::int64_t> deg(static_cast<std::size_t>(n_) + 1, 0);
-  for (std::size_t i = 0; i < uniq.size(); ++i) {
-    g.etail_[i] = uniq[i].u;
-    g.ehead_[i] = uniq[i].v;
-    g.ecost_[i] = uniq[i].cost;
-    ++deg[static_cast<std::size_t>(uniq[i].u) + 1];
-    ++deg[static_cast<std::size_t>(uniq[i].v) + 1];
+  // Endpoints and costs first: once they are packed, the raw list can be
+  // released before the half-edge array exists — the two never coexist.
+  g.ends_.resize(m);
+  g.ecost_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    g.ends_[i] = {edges_[i].u, edges_[i].v};
+    g.ecost_[i] = edges_[i].cost;
   }
-  g.xadj_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  for (Vertex v = 0; v < n_; ++v)
-    g.xadj_[static_cast<std::size_t>(v) + 1] =
-        g.xadj_[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v) + 1];
-  g.adj_.resize(static_cast<std::size_t>(2) * uniq.size());
-  g.eid_.resize(static_cast<std::size_t>(2) * uniq.size());
-  std::vector<std::int64_t> cursor(g.xadj_.begin(), g.xadj_.end() - 1);
-  for (std::size_t i = 0; i < uniq.size(); ++i) {
-    const auto e = static_cast<EdgeId>(i);
-    const Vertex u = uniq[i].u, v = uniq[i].v;
-    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)])] = v;
-    g.eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = e;
-    g.adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)])] = u;
-    g.eid_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = e;
-  }
+  std::vector<RawEdge>().swap(edges_);
 
-  g.half_.resize(static_cast<std::size_t>(2) * uniq.size());
-  for (std::size_t i = 0; i < g.adj_.size(); ++i) {
-    const EdgeId e = g.eid_[i];
-    g.half_[i] = {g.adj_[i], e, g.ecost_[static_cast<std::size_t>(e)]};
+  g.wide_offsets_ =
+      force_wide_ || 2 * static_cast<std::uint64_t>(m) >= (std::uint64_t{1} << 32);
+
+  // CSR emission with the xadj array doubling as the insertion cursor:
+  // count degrees, prefix-sum, place half-edges at xadj[v]++, then shift
+  // the offsets back one slot.  O(1) extra memory per edge.
+  g.half_.resize(2 * m);
+  const auto emit_csr = [&](auto& xadj) {
+    xadj.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (const auto& en : g.ends_) {
+      ++xadj[static_cast<std::size_t>(en.tail) + 1];
+      ++xadj[static_cast<std::size_t>(en.head) + 1];
+    }
+    for (Vertex v = 0; v < n_; ++v)
+      xadj[static_cast<std::size_t>(v) + 1] += xadj[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto e = static_cast<EdgeId>(i);
+      const Vertex u = g.ends_[i].tail, v = g.ends_[i].head;
+      g.half_[static_cast<std::size_t>(xadj[static_cast<std::size_t>(u)]++)] = {v, e};
+      g.half_[static_cast<std::size_t>(xadj[static_cast<std::size_t>(v)]++)] = {u, e};
+    }
+    for (Vertex v = n_; v > 0; --v)
+      xadj[static_cast<std::size_t>(v)] = xadj[static_cast<std::size_t>(v) - 1];
+    if (n_ >= 0) xadj[0] = 0;
+  };
+  if (g.wide_offsets_) {
+    emit_csr(g.xadj64_);
+  } else {
+    emit_csr(g.xadj32_);
   }
 
   g.wdeg_.assign(static_cast<std::size_t>(n_), 0.0);
@@ -142,6 +159,7 @@ Graph GraphBuilder::build() {
 
   edges_.clear();
   n_ = 0;
+  force_wide_ = false;
   return g;
 }
 

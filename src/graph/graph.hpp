@@ -12,9 +12,25 @@
 // address sub-instances as vertex subsets over the host graph instead of
 // copying, which keeps each recursion level linear time as Theorem 4's
 // running-time statement requires.
+//
+// Memory layout (PR 9): the CSR is stored compactly so 10M+-vertex
+// instances fit comfortably.
+//   * One packed (to, id) pair per half-edge is the single source of
+//     adjacency truth; neighbors()/incident_edges()/incidence() are
+//     zero-copy projected views over it.  Edge costs live once per edge
+//     in ecost_ — incidence() materializes HalfEdge{to, id, cost} values
+//     on the fly, so the fused-stride call sites are unchanged while the
+//     per-half-edge cost copy is gone.
+//   * Offsets are 32-bit (xadj32_) whenever 2m < 2^32 — i.e. always,
+//     given EdgeId is int32 — and fall back to 64-bit (xadj64_) when a
+//     builder is forced wide (test hook for the width-switch contract).
+//   * Endpoints are a packed (tail, head) struct-of-arrays entry.
+// Net: 32 bytes/edge of edge storage vs 64 in the pre-PR9 layout.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <utility>
 #include <vector>
@@ -26,14 +42,130 @@ namespace mmd {
 using Vertex = std::int32_t;
 using EdgeId = std::int32_t;
 
-/// One directed copy of an undirected edge, stored in the incidence list of
-/// its tail: target vertex, edge id, and cost fused into a single stride so
-/// inner loops touch one stream instead of three (adj_/eid_/ecost_).
+/// One directed copy of an undirected edge as seen from the incidence list
+/// of its tail: target vertex, edge id, and cost.  This is the *value* type
+/// yielded by Graph::incidence(); storage keeps only (to, id) per half-edge
+/// and the cost once per edge.
 struct HalfEdge {
   Vertex to;
   EdgeId id;
   double cost;
 };
+
+namespace graph_detail {
+
+/// CSR storage unit: one packed half-edge (8 bytes).
+struct PackedHalf {
+  Vertex to;
+  EdgeId id;
+};
+
+/// Packed endpoints of one undirected edge (8 bytes), tail < head.
+struct EdgeEnds {
+  Vertex tail;
+  Vertex head;
+};
+
+/// Random-access proxy iterator over PackedHalf storage; each dereference
+/// projects the packed entry through Proj (to a Vertex, an EdgeId, or a
+/// materialized HalfEdge).  Values are returned by value — the packed
+/// storage is never exposed.
+template <class Value, class Proj>
+class ProjIterator {
+ public:
+  using iterator_category = std::random_access_iterator_tag;
+  using value_type = Value;
+  using difference_type = std::ptrdiff_t;
+  using pointer = void;
+  using reference = Value;
+
+  ProjIterator() = default;
+  ProjIterator(const PackedHalf* p, Proj proj) : p_(p), proj_(proj) {}
+
+  Value operator*() const { return proj_(*p_); }
+  Value operator[](difference_type i) const { return proj_(p_[i]); }
+
+  ProjIterator& operator++() { ++p_; return *this; }
+  ProjIterator operator++(int) { ProjIterator t = *this; ++p_; return t; }
+  ProjIterator& operator--() { --p_; return *this; }
+  ProjIterator operator--(int) { ProjIterator t = *this; --p_; return t; }
+  ProjIterator& operator+=(difference_type d) { p_ += d; return *this; }
+  ProjIterator& operator-=(difference_type d) { p_ -= d; return *this; }
+  friend ProjIterator operator+(ProjIterator it, difference_type d) { return it += d; }
+  friend ProjIterator operator+(difference_type d, ProjIterator it) { return it += d; }
+  friend ProjIterator operator-(ProjIterator it, difference_type d) { return it -= d; }
+  friend difference_type operator-(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ - b.p_;
+  }
+  friend bool operator==(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator!=(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ != b.p_;
+  }
+  friend bool operator<(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ < b.p_;
+  }
+  friend bool operator>(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ > b.p_;
+  }
+  friend bool operator<=(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ <= b.p_;
+  }
+  friend bool operator>=(const ProjIterator& a, const ProjIterator& b) {
+    return a.p_ >= b.p_;
+  }
+
+ private:
+  const PackedHalf* p_ = nullptr;
+  Proj proj_{};
+};
+
+/// Sized random-access view over a contiguous PackedHalf run, projected
+/// element-wise.  Mirrors the std::span surface the accessors used to
+/// return (begin/end/size/empty/operator[]/front/back).
+template <class Value, class Proj>
+class ProjRange {
+ public:
+  using value_type = Value;
+  using iterator = ProjIterator<Value, Proj>;
+  using const_iterator = iterator;
+
+  ProjRange(const PackedHalf* p, std::size_t n, Proj proj)
+      : p_(p), n_(n), proj_(proj) {}
+
+  iterator begin() const { return {p_, proj_}; }
+  iterator end() const { return {p_ + n_, proj_}; }
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  Value operator[](std::size_t i) const { return proj_(p_[i]); }
+  Value front() const { return proj_(p_[0]); }
+  Value back() const { return proj_(p_[n_ - 1]); }
+
+ private:
+  const PackedHalf* p_;
+  std::size_t n_;
+  Proj proj_;
+};
+
+struct ToProj {
+  Vertex operator()(const PackedHalf& h) const { return h.to; }
+};
+struct IdProj {
+  EdgeId operator()(const PackedHalf& h) const { return h.id; }
+};
+struct HalfProj {
+  const double* costs;
+  HalfEdge operator()(const PackedHalf& h) const {
+    return {h.to, h.id, costs[static_cast<std::size_t>(h.id)]};
+  }
+};
+
+}  // namespace graph_detail
+
+using NeighborRange = graph_detail::ProjRange<Vertex, graph_detail::ToProj>;
+using IncidentEdgeRange = graph_detail::ProjRange<EdgeId, graph_detail::IdProj>;
+using IncidenceRange = graph_detail::ProjRange<HalfEdge, graph_detail::HalfProj>;
 
 class Graph {
  public:
@@ -44,15 +176,15 @@ class Graph {
   std::int64_t size() const { return static_cast<std::int64_t>(n_) + m_; }
 
   /// Neighbors of v (each undirected edge appears in both endpoint lists).
-  std::span<const Vertex> neighbors(Vertex v) const {
+  NeighborRange neighbors(Vertex v) const {
     check_vertex(v);
-    return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+    return neighbors_unchecked(v);
   }
 
   /// Edge ids incident to v, aligned with neighbors(v).
-  std::span<const EdgeId> incident_edges(Vertex v) const {
+  IncidentEdgeRange incident_edges(Vertex v) const {
     check_vertex(v);
-    return {eid_.data() + xadj_[v], eid_.data() + xadj_[v + 1]};
+    return incident_edges_unchecked(v);
   }
 
   // --- hot-path accessors ----------------------------------------------
@@ -60,20 +192,24 @@ class Graph {
   // their vertex ids at the API boundary; these variants check only under
   // MMD_ASSERT (Debug builds) so Release code pays no branch per access.
 
-  std::span<const Vertex> neighbors_unchecked(Vertex v) const {
+  NeighborRange neighbors_unchecked(Vertex v) const {
     assert_vertex(v);
-    return {adj_.data() + xadj_[v], adj_.data() + xadj_[v + 1]};
+    const std::size_t b = offset(v);
+    return {half_.data() + b, offset(v + 1) - b, {}};
   }
 
-  std::span<const EdgeId> incident_edges_unchecked(Vertex v) const {
+  IncidentEdgeRange incident_edges_unchecked(Vertex v) const {
     assert_vertex(v);
-    return {eid_.data() + xadj_[v], eid_.data() + xadj_[v + 1]};
+    const std::size_t b = offset(v);
+    return {half_.data() + b, offset(v + 1) - b, {}};
   }
 
-  /// Fused (neighbor, edge id, cost) triples of v in one contiguous stride.
-  std::span<const HalfEdge> incidence(Vertex v) const {
+  /// Fused (neighbor, edge id, cost) triples of v in one pass; HalfEdge
+  /// values are materialized from the packed storage plus ecost_.
+  IncidenceRange incidence(Vertex v) const {
     assert_vertex(v);
-    return {half_.data() + xadj_[v], half_.data() + xadj_[v + 1]};
+    const std::size_t b = offset(v);
+    return {half_.data() + b, offset(v + 1) - b, {ecost_.data()}};
   }
 
   double edge_cost_unchecked(EdgeId e) const {
@@ -88,7 +224,7 @@ class Graph {
 
   int degree(Vertex v) const {
     check_vertex(v);
-    return static_cast<int>(xadj_[v + 1] - xadj_[v]);
+    return static_cast<int>(offset(v + 1) - offset(v));
   }
 
   double edge_cost(EdgeId e) const {
@@ -99,7 +235,8 @@ class Graph {
   /// The two endpoints of edge e, in construction order (u < v).
   std::pair<Vertex, Vertex> endpoints(EdgeId e) const {
     check_edge(e);
-    return {etail_[static_cast<std::size_t>(e)], ehead_[static_cast<std::size_t>(e)]};
+    const auto& en = ends_[static_cast<std::size_t>(e)];
+    return {en.tail, en.head};
   }
 
   double vertex_weight(Vertex v) const {
@@ -118,6 +255,10 @@ class Graph {
   std::span<const double> weighted_degrees() const { return wdeg_; }
   double max_weighted_degree() const { return max_wdeg_; }
   int max_degree() const { return max_deg_; }
+
+  /// True when CSR offsets are stored as 64-bit values (2m >= 2^32, or a
+  /// builder forced wide for the width-switch tests).
+  bool wide_offsets() const { return wide_offsets_; }
 
   // --- coordinates (grid / geometric instances) -------------------------
   bool has_coords() const { return dim_ > 0; }
@@ -147,16 +288,15 @@ class Graph {
   /// can be reused by a different graph.
   std::uint64_t uid() const { return uid_; }
 
-  /// Heap footprint of this instance (CSR arrays, fused incidence,
+  /// Heap footprint of this instance (packed CSR, endpoints, costs,
   /// coordinates), by vector capacity.  The context cache of
   /// PartitionService budgets its entries with this plus the contexts'
   /// own estimates.
   std::size_t memory_bytes() const {
-    return sizeof(*this) + xadj_.capacity() * sizeof(std::int64_t) +
-           (adj_.capacity() + etail_.capacity() + ehead_.capacity()) *
-               sizeof(Vertex) +
-           eid_.capacity() * sizeof(EdgeId) +
-           half_.capacity() * sizeof(HalfEdge) +
+    return sizeof(*this) + xadj32_.capacity() * sizeof(std::uint32_t) +
+           xadj64_.capacity() * sizeof(std::uint64_t) +
+           half_.capacity() * sizeof(graph_detail::PackedHalf) +
+           ends_.capacity() * sizeof(graph_detail::EdgeEnds) +
            (ecost_.capacity() + vweight_.capacity() + wdeg_.capacity()) *
                sizeof(double) +
            coords_.capacity() * sizeof(std::int32_t);
@@ -164,6 +304,14 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+
+  /// Start of v's half-edge run in half_; the one width branch on the
+  /// accessor path (predicted perfectly — the flag never changes after
+  /// build).
+  std::size_t offset(Vertex v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return wide_offsets_ ? static_cast<std::size_t>(xadj64_[i]) : xadj32_[i];
+  }
 
   void check_vertex(Vertex v) const {
     MMD_REQUIRE(v >= 0 && v < n_, "vertex id out of range");
@@ -180,11 +328,11 @@ class Graph {
 
   Vertex n_ = 0;
   EdgeId m_ = 0;
-  std::vector<std::int64_t> xadj_;  // size n+1
-  std::vector<Vertex> adj_;         // size 2m
-  std::vector<EdgeId> eid_;         // size 2m
-  std::vector<HalfEdge> half_;      // size 2m, fused (adj, eid, cost)
-  std::vector<Vertex> etail_, ehead_;  // size m each, tail < head
+  bool wide_offsets_ = false;
+  std::vector<std::uint32_t> xadj32_;  // size n+1 when !wide_offsets_
+  std::vector<std::uint64_t> xadj64_;  // size n+1 when wide_offsets_
+  std::vector<graph_detail::PackedHalf> half_;  // size 2m, (to, id) packed
+  std::vector<graph_detail::EdgeEnds> ends_;    // size m, tail < head
   std::vector<double> ecost_;          // size m
   std::vector<double> vweight_;        // size n
   std::vector<double> wdeg_;           // size n, c(delta(v))
@@ -202,7 +350,9 @@ class GraphBuilder {
  public:
   explicit GraphBuilder(Vertex num_vertices);
 
-  /// Add an undirected edge; cost must be non-negative.
+  /// Add an undirected edge; cost must be non-negative.  Fails here —
+  /// before any CSR memory is spent — once the raw edge count would
+  /// exceed the EdgeId range.
   void add_edge(Vertex u, Vertex v, double cost);
 
   void set_vertex_weight(Vertex v, double w);
@@ -213,12 +363,22 @@ class GraphBuilder {
 
   Vertex num_vertices() const { return n_; }
 
-  /// Finalize.  The builder is left empty afterwards.
+  /// Test hook for the 32-/64-bit width-switch contract: force the built
+  /// graph to use 64-bit CSR offsets even when 2m < 2^32.  Decompose
+  /// results must be bitwise identical across both representations.
+  void force_wide_offsets_for_testing(bool wide) { force_wide_ = wide; }
+
+  /// Finalize.  The builder is left empty afterwards.  Streaming build:
+  /// duplicates are coalesced in place (sort + unique, no side copy), the
+  /// raw edge list is released before the half-edge array is allocated,
+  /// and CSR emission uses the cursor-in-xadj trick — O(1) extra memory
+  /// per edge beyond the final graph.
   Graph build();
 
  private:
   Vertex n_ = 0;
   int dim_ = 0;
+  bool force_wide_ = false;
   struct RawEdge {
     Vertex u, v;
     double cost;

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -16,18 +17,18 @@ namespace {
 // every malformed token becomes a typed ParseError with its line number
 // instead of a silently misparsed graph.
 
-long long parse_ll(const std::string& tok, long line, const char* what) {
+long long parse_ll(const char* tok, long line, const char* what) {
   errno = 0;
   char* end = nullptr;
-  const long long v = std::strtoll(tok.c_str(), &end, 10);
-  if (end == tok.c_str() || *end != '\0')
+  const long long v = std::strtoll(tok, &end, 10);
+  if (end == tok || *end != '\0')
     throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
   if (errno == ERANGE)
     throw ParseError(line, std::string(what) + " '" + tok + "' overflows");
   return v;
 }
 
-std::int32_t parse_i32(const std::string& tok, long line, const char* what) {
+std::int32_t parse_i32(const char* tok, long line, const char* what) {
   const long long v = parse_ll(tok, line, what);
   if (v < std::numeric_limits<std::int32_t>::min() ||
       v > std::numeric_limits<std::int32_t>::max())
@@ -36,18 +37,95 @@ std::int32_t parse_i32(const std::string& tok, long line, const char* what) {
   return static_cast<std::int32_t>(v);
 }
 
-double parse_finite_double(const std::string& tok, long line,
-                           const char* what) {
+double parse_finite_double(const char* tok, long line, const char* what) {
   errno = 0;
   char* end = nullptr;
-  const double v = std::strtod(tok.c_str(), &end);
-  if (end == tok.c_str() || *end != '\0')
+  const double v = std::strtod(tok, &end);
+  if (end == tok || *end != '\0')
     throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
   if (!std::isfinite(v))
     throw ParseError(line, std::string(what) + " '" + tok +
                                "' is not a finite value");
   return v;
 }
+
+// Buffered line reader for the streaming graph parse: a fixed 1 MiB window
+// over the stream, lines handed out as NUL-terminated views into the buffer
+// (the newline slot is overwritten in place).  A multi-GB METIS file is
+// never resident as text — the only per-call allocation is the rare carry
+// of a line straddling a buffer boundary.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is), buf_(1 << 20) {}
+
+  /// The next line with its newline stripped, NUL-terminated, valid until
+  /// the next call; nullptr at end of input.
+  char* next_line() {
+    carry_.clear();
+    for (;;) {
+      if (pos_ == end_ && !fill()) {
+        if (carry_.empty()) return nullptr;
+        ++lineno_;
+        return carry_.data();
+      }
+      char* base = buf_.data() + pos_;
+      char* nl = static_cast<char*>(std::memchr(base, '\n', end_ - pos_));
+      if (nl != nullptr) {
+        ++lineno_;
+        pos_ = static_cast<std::size_t>(nl - buf_.data()) + 1;
+        if (carry_.empty()) {
+          *nl = '\0';
+          return base;
+        }
+        carry_.append(base, static_cast<std::size_t>(nl - base));
+        return carry_.data();
+      }
+      carry_.append(base, end_ - pos_);
+      pos_ = end_;
+    }
+  }
+
+  /// 1-based number of the line last returned (0 before the first call).
+  long lineno() const { return lineno_; }
+
+ private:
+  bool fill() {
+    is_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    end_ = static_cast<std::size_t>(is_.gcount());
+    pos_ = 0;
+    return end_ > 0;
+  }
+
+  std::istream& is_;
+  std::vector<char> buf_;
+  std::size_t pos_ = 0, end_ = 0;
+  std::string carry_;
+  long lineno_ = 0;
+};
+
+// In-place whitespace tokenizer over one NUL-terminated line; tokens are
+// NUL-terminated where they stand, so the numeric parsers run directly on
+// the read buffer with no per-token copy.
+class TokenCursor {
+ public:
+  explicit TokenCursor(char* s) : p_(s) {}
+
+  /// Next token, or nullptr when the line is exhausted.
+  char* next() {
+    while (is_ws(*p_)) ++p_;
+    if (*p_ == '\0') return nullptr;
+    char* tok = p_;
+    while (*p_ != '\0' && !is_ws(*p_)) ++p_;
+    if (*p_ != '\0') *p_++ = '\0';
+    return tok;
+  }
+
+ private:
+  static bool is_ws(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+  }
+  char* p_;
+};
 
 }  // namespace
 
@@ -83,43 +161,45 @@ void write_metis_file(const Graph& g, std::span<const double> weights,
 }
 
 GraphWithWeights read_metis(std::istream& is) {
-  std::string line, tok;
-  long lineno = 0;
+  // Streaming parse: a buffered LineReader plus in-place tokenization, so
+  // the text of a multi-GB file never coexists with the graph being built.
+  LineReader reader(is);
   int dim = 0;
   std::vector<std::int32_t> coords;
   // Comments and the optional coordinate block.
-  bool have_header = false;
-  while (std::getline(is, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    if (line[0] != '%') {
-      have_header = true;
-      break;
-    }
-    if (line.rfind("%coords", 0) == 0) {
-      std::istringstream ls(line.substr(7));
-      if (!(ls >> tok))
-        throw ParseError(lineno, "%coords needs a dimension");
-      const long long d = parse_ll(tok, lineno, "coordinate dimension");
-      if (ls >> tok)
-        throw ParseError(lineno, "trailing tokens after %coords dimension");
+  char* line = nullptr;
+  while ((line = reader.next_line()) != nullptr) {
+    if (line[0] == '\0') continue;
+    if (line[0] != '%') break;  // header line
+    if (std::strncmp(line, "%coords", 7) == 0) {
+      TokenCursor tc(line + 7);
+      char* tok = tc.next();
+      if (tok == nullptr)
+        throw ParseError(reader.lineno(), "%coords needs a dimension");
+      const long long d = parse_ll(tok, reader.lineno(), "coordinate dimension");
+      if (tc.next() != nullptr)
+        throw ParseError(reader.lineno(),
+                         "trailing tokens after %coords dimension");
       if (d < 1 || d > 16)
-        throw ParseError(lineno, "coordinate dimension out of range [1, 16]");
+        throw ParseError(reader.lineno(),
+                         "coordinate dimension out of range [1, 16]");
       dim = static_cast<int>(d);
-    } else if (line.rfind("%c", 0) == 0 && dim > 0) {
-      std::istringstream ls(line.substr(2));
-      while (ls >> tok) coords.push_back(parse_i32(tok, lineno, "coordinate"));
+    } else if (line[1] == 'c' && dim > 0) {
+      TokenCursor tc(line + 2);
+      for (char* tok = tc.next(); tok != nullptr; tok = tc.next())
+        coords.push_back(parse_i32(tok, reader.lineno(), "coordinate"));
     }
   }
-  if (!have_header)
-    throw ParseError(lineno + 1, "missing header line (n m [fmt])");
-  const long header_line = lineno;
-  std::istringstream header(line);
-  std::string tn, tm, fmt;
-  if (!(header >> tn >> tm))
+  if (line == nullptr)
+    throw ParseError(reader.lineno() + 1, "missing header line (n m [fmt])");
+  const long header_line = reader.lineno();
+  TokenCursor header(line);
+  char* tn = header.next();
+  char* tm = header.next();
+  if (tn == nullptr || tm == nullptr)
     throw ParseError(header_line, "header needs vertex and edge counts");
-  header >> fmt;
-  if (header >> tok)
+  char* fmt = header.next();
+  if (fmt != nullptr && header.next() != nullptr)
     throw ParseError(header_line, "trailing tokens after header");
   const long long n = parse_ll(tn, header_line, "vertex count");
   const long long m = parse_ll(tm, header_line, "edge count");
@@ -128,9 +208,9 @@ GraphWithWeights read_metis(std::istream& is) {
   if (n > std::numeric_limits<Vertex>::max())
     throw ParseError(header_line,
                      "vertex count overflows the 32-bit vertex id space");
-  if (!fmt.empty() && fmt != "011")
-    throw ParseError(header_line,
-                     "unsupported METIS format flags '" + fmt + "' (only 011)");
+  if (fmt != nullptr && std::strcmp(fmt, "011") != 0)
+    throw ParseError(header_line, "unsupported METIS format flags '" +
+                                      std::string(fmt) + "' (only 011)");
 
   GraphBuilder builder(static_cast<Vertex>(n));
   std::vector<double> weights(static_cast<std::size_t>(n), 1.0);
@@ -149,24 +229,27 @@ GraphWithWeights read_metis(std::istream& is) {
 
   long long edges_seen = 0;
   for (Vertex v = 0; v < static_cast<Vertex>(n); ++v) {
-    if (!std::getline(is, line))
-      throw ParseError(lineno + 1, "unexpected end of file: expected " +
-                                       std::to_string(n) +
-                                       " adjacency lines, got " +
-                                       std::to_string(static_cast<long long>(v)));
-    ++lineno;
-    std::istringstream ls(line);
-    if (!(ls >> tok))
+    line = reader.next_line();
+    if (line == nullptr)
+      throw ParseError(reader.lineno() + 1,
+                       "unexpected end of file: expected " + std::to_string(n) +
+                           " adjacency lines, got " +
+                           std::to_string(static_cast<long long>(v)));
+    const long lineno = reader.lineno();
+    TokenCursor tc(line);
+    char* tok = tc.next();
+    if (tok == nullptr)
       throw ParseError(lineno, "empty adjacency line: expected a vertex weight");
     weights[static_cast<std::size_t>(v)] =
         parse_finite_double(tok, lineno, "vertex weight");
-    while (ls >> tok) {
+    while ((tok = tc.next()) != nullptr) {
       const long long u = parse_ll(tok, lineno, "neighbor id");
       if (u < 1 || u > n)
         throw ParseError(lineno, "neighbor id " + std::to_string(u) +
                                      " out of range [1, " + std::to_string(n) +
                                      "]");
-      if (!(ls >> tok))
+      tok = tc.next();
+      if (tok == nullptr)
         throw ParseError(
             lineno, "truncated adjacency list: neighbor id without an edge cost");
       const double c = parse_finite_double(tok, lineno, "edge cost");
@@ -213,7 +296,7 @@ Coloring read_partition(std::istream& is, int k) {
     while (ls >> tok) {
       // Token-strict: a non-numeric entry is a ParseError, not a silent
       // early stop (operator>> would truncate the partition there).
-      const long long c = parse_ll(tok, lineno, "color");
+      const long long c = parse_ll(tok.c_str(), lineno, "color");
       if (c < kUncolored || c >= k)
         throw ParseError(lineno, "color " + std::to_string(c) +
                                      " out of range [" +

@@ -393,39 +393,44 @@ void OrderingCache::subset_morton_order(std::span<const Vertex> w_list,
 void OrderingCache::radix_sort_by_rank(const std::int32_t* rank,
                                        std::vector<Vertex>& out,
                                        OrderingScratch& sc) const {
-  // Gather (rank << 32 | vertex) keys once — one random load per element —
-  // then LSD radix with 8-bit digits over the rank bytes: ceil(log256 n)
-  // stable counting passes of sequential O(|W| + 256) work each.
+  // Gather the 32-bit ranks once — one random load per element — then LSD
+  // radix with 8-bit digits over the rank bytes: ceil(log256 n) stable
+  // counting passes of sequential O(|W| + 256) work each.  The vertex
+  // payload rides in a parallel array; ranks are unique within W, so the
+  // result is the same permutation the packed-64-bit variant produced,
+  // at 12 scratch bytes per element instead of 16.
   const std::size_t s = out.size();
-  sc.key.resize(std::max(sc.key.size(), s));
-  sc.buf.resize(std::max(sc.buf.size(), s));
-  std::uint64_t* a = sc.key.data();
-  std::uint64_t* b = sc.buf.data();
-  for (std::size_t i = 0; i < s; ++i) {
-    const Vertex v = out[i];
-    a[i] = (static_cast<std::uint64_t>(
-                static_cast<std::uint32_t>(rank[static_cast<std::size_t>(v)]))
-            << 32) |
-           static_cast<std::uint32_t>(v);
-  }
+  sc.key32.resize(std::max(sc.key32.size(), s));
+  sc.buf32.resize(std::max(sc.buf32.size(), s));
+  sc.vbuf.resize(std::max(sc.vbuf.size(), s));
+  std::uint32_t* ka = sc.key32.data();
+  std::uint32_t* kb = sc.buf32.data();
+  Vertex* va = out.data();
+  Vertex* vb = sc.vbuf.data();
+  for (std::size_t i = 0; i < s; ++i)
+    ka[i] = static_cast<std::uint32_t>(rank[static_cast<std::size_t>(va[i])]);
   int passes = 0;
   for (Vertex top = n_ - 1; top > 0; top >>= 8) ++passes;
   std::uint32_t count[256];
   for (int p = 0; p < passes; ++p) {
-    const int shift = 32 + 8 * p;
+    const int shift = 8 * p;
     std::fill(std::begin(count), std::end(count), 0u);
-    for (std::size_t i = 0; i < s; ++i) ++count[(a[i] >> shift) & 0xff];
+    for (std::size_t i = 0; i < s; ++i) ++count[(ka[i] >> shift) & 0xff];
     std::uint32_t sum = 0;
     for (std::uint32_t& c : count) {
       const std::uint32_t next = sum + c;
       c = sum;
       sum = next;
     }
-    for (std::size_t i = 0; i < s; ++i) b[count[(a[i] >> shift) & 0xff]++] = a[i];
-    std::swap(a, b);
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::uint32_t pos = count[(ka[i] >> shift) & 0xff]++;
+      kb[pos] = ka[i];
+      vb[pos] = va[i];
+    }
+    std::swap(ka, kb);
+    std::swap(va, vb);
   }
-  for (std::size_t i = 0; i < s; ++i)
-    out[i] = static_cast<Vertex>(static_cast<std::uint32_t>(a[i]));
+  if (va != out.data()) std::copy(va, va + s, out.data());
 }
 
 }  // namespace mmd

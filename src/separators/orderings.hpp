@@ -54,7 +54,13 @@ void pseudo_peripheral_bfs_order_into(const Graph& g,
 /// pool evaluating several sweep orders of one split at once) must each
 /// pass their own.
 struct OrderingScratch {
+  // 64-bit interleaved Morton keys (subset_morton_order only).
   std::vector<std::uint64_t> key, buf;
+  // 32-bit rank keys + parallel vertex payload (radix_sort_by_rank):
+  // ranks are unique permutation ranks < n < 2^31, so packing them with
+  // the vertex into one 64-bit word would double the scratch traffic for
+  // nothing.
+  std::vector<std::uint32_t> key32, buf32;
   std::vector<Vertex> vbuf;
 };
 

@@ -1,0 +1,55 @@
+// Process memory introspection for the huge-graph benchmarks (E12) and
+// the CLI's --mem-stats report.
+//
+//   * peak_rss_bytes():    high-water resident set of the process so far
+//                          (getrusage ru_maxrss).  Monotone — run bench
+//                          configs in ascending size order so each row's
+//                          stamp reflects the largest instance seen.
+//   * current_rss_bytes(): resident set right now (/proc/self/statm),
+//                          0 where procfs is unavailable.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define MMD_HAVE_RUSAGE 1
+#endif
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace mmd {
+
+inline std::size_t peak_rss_bytes() {
+#ifdef MMD_HAVE_RUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+inline std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long pages = 0, resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &pages, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace mmd

@@ -196,6 +196,24 @@ expect_rep "missing k rejected" 4 '"status":"bad_request"'
 expect_rep "unknown graph" 5 '"status":"not_found"'
 expect_rep "bogus deltas rejected" 6 '"status":"bad_request"'
 
+# 15. --mem-stats prints the graph/workspace/context byte breakdown even
+#     under --quiet, with a non-zero graph footprint.
+mem_out="$("$bin" -k 3 --quiet --mem-stats "$good")"
+check "--mem-stats" 0 $?
+case "$mem_out" in
+  *"graph_bytes="*"bytes_per_edge="*"offsets=32-bit"*) echo "ok: mem-stats graph line" ;;
+  *) echo "FAIL: mem-stats lacks graph breakdown: $mem_out" >&2; fails=$((fails + 1)) ;;
+esac
+case "$mem_out" in
+  *"workspace_bytes="*"context_estimate_bytes="*) echo "ok: mem-stats context line" ;;
+  *) echo "FAIL: mem-stats lacks workspace/context line: $mem_out" >&2; fails=$((fails + 1)) ;;
+esac
+case "$mem_out" in
+  *"graph_bytes=0 "*) echo "FAIL: mem-stats graph_bytes is zero" >&2; fails=$((fails + 1)) ;;
+  *"peak_rss_bytes="*) echo "ok: mem-stats rss line" ;;
+  *) echo "FAIL: mem-stats lacks peak_rss_bytes: $mem_out" >&2; fails=$((fails + 1)) ;;
+esac
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

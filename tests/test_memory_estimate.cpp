@@ -31,6 +31,9 @@
 namespace {
 
 std::atomic<std::size_t> g_live_bytes{0};
+// High-water mark of g_live_bytes since the last reset_peak(); pins the
+// transient footprint of GraphBuilder::build (PR 9 streaming build).
+std::atomic<std::size_t> g_peak_bytes{0};
 
 std::size_t usable(void* p) {
 #ifdef MMD_HAVE_MALLOC_USABLE_SIZE
@@ -49,7 +52,13 @@ std::size_t usable(void* p) {
 void* operator new(std::size_t size) {
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
-  g_live_bytes.fetch_add(usable(p), std::memory_order_relaxed);
+  const std::size_t now =
+      g_live_bytes.fetch_add(usable(p), std::memory_order_relaxed) + usable(p);
+  std::size_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, now,
+                                             std::memory_order_relaxed)) {
+  }
   return p;
 }
 
@@ -69,6 +78,8 @@ namespace mmd {
 namespace {
 
 std::size_t live() { return g_live_bytes.load(std::memory_order_relaxed); }
+std::size_t peak() { return g_peak_bytes.load(std::memory_order_relaxed); }
+void reset_peak() { g_peak_bytes.store(live(), std::memory_order_relaxed); }
 
 // Allocator metadata / rounding headroom: the estimates count requested
 // capacities while the counter sees usable sizes, which glibc rounds up
@@ -101,13 +112,98 @@ TEST(MemoryEstimate, GraphEstimateNeverExceedsLiveHeap) {
   const Graph g = make_grid_cube(2, 48, {});
   const std::size_t retained = live() - before;
   const std::size_t est = g.memory_bytes() - sizeof(g);
-  // CSR arrays alone put a floor under the estimate...
+  // CSR arrays alone put a floor under the estimate (PR 9 compact layout:
+  // u32 offsets + one packed 8-byte (to, id) pair per half-edge)...
   const auto n = static_cast<std::size_t>(g.num_vertices());
   const auto m = static_cast<std::size_t>(g.num_edges());
-  EXPECT_GE(est, n * sizeof(std::int64_t) + 2 * m * sizeof(Vertex));
+  EXPECT_GE(est, n * sizeof(std::uint32_t) +
+                     2 * m * (sizeof(Vertex) + sizeof(EdgeId)));
   // ...and the estimate is billed against real retained allocations.
   EXPECT_LE(est, retained);
   EXPECT_LE(retained, 2 * est + kSlack);
+}
+
+// PR 9 acceptance pin: edge storage of the compact CSR is >= 35% below the
+// pre-PR9 layout (int64 xadj; adj_ + eid_ at 8 B/half-edge; a fused
+// 16-byte HalfEdge copy per half-edge; etail_/ehead_ + ecost_ per edge =
+// 64 B/edge), measured against the real estimate of a built graph.
+TEST(MemoryEstimate, CompactCsrCutsBytesPerEdge) {
+  const Graph g = make_grid_cube(2, 64, {});
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto m = static_cast<std::size_t>(g.num_edges());
+  const std::size_t est = g.memory_bytes() - sizeof(g);
+  // Strip the per-vertex attributes (vweight, wdeg, coords) shared by both
+  // layouts; what remains is offsets + adjacency + endpoints + costs.
+  const std::size_t vert_bytes =
+      2 * n * sizeof(double) +
+      n * static_cast<std::size_t>(g.dim()) * sizeof(std::int32_t);
+  ASSERT_GT(est, vert_bytes);
+  const std::size_t edge_bytes = est - vert_bytes;
+  const std::size_t new_model =
+      (n + 1) * sizeof(std::uint32_t) + 2 * m * 8 + m * 8 + m * 8;
+  EXPECT_GE(edge_bytes, new_model);
+  EXPECT_LE(edge_bytes, new_model + kSlack);
+  const std::size_t old_model = (n + 1) * sizeof(std::int64_t) + 64 * m;
+  EXPECT_LE(100 * edge_bytes, 65 * old_model);
+}
+
+// The eviction budget must track the heap in both offset widths: a graph
+// forced onto 64-bit offsets (the width-switch test hook) is billed like
+// its 32-bit twin, just with the wider xadj.
+TEST(MemoryEstimate, GraphEstimateTracksHeapInBothWidths) {
+  MMD_REQUIRE_COUNTER();
+  std::size_t est_by_width[2] = {0, 0};
+  for (const bool wide : {false, true}) {
+    const std::size_t before = live();
+    const Graph g = [&] {
+      GraphBuilder b(512);
+      for (Vertex v = 0; v < 512; ++v)
+        for (Vertex u : {static_cast<Vertex>((v + 1) % 512),
+                         static_cast<Vertex>((v * 7 + 3) % 512)})
+          if (u != v) b.add_edge(v, u, 1.0);
+      b.force_wide_offsets_for_testing(wide);
+      return b.build();
+    }();
+    const std::size_t retained = live() - before;
+    ASSERT_EQ(g.wide_offsets(), wide);
+    const std::size_t est = g.memory_bytes() - sizeof(g);
+    EXPECT_LE(est, retained);
+    EXPECT_LE(retained, 2 * est + kSlack);
+    est_by_width[wide ? 1 : 0] = est;
+    // Leak the comparison values only; g frees here and live() returns to
+    // the width-loop baseline.
+  }
+  // Same graph, wider offsets: the estimate must charge the difference.
+  EXPECT_GT(est_by_width[1], est_by_width[0]);
+}
+
+// PR 9 acceptance pin: the streaming build's transient footprint is >= 40%
+// below the pre-PR9 pipeline, which at its fused-half_ fill stage held —
+// beyond the raw edge list it never released — a coalesced `uniq` copy
+// (16 B/edge), etail/ehead/ecost (24 B/edge), adj/eid (16 B/edge), the
+// 16-byte-per-half fused array (32 B/edge), and deg/xadj/cursor
+// (~24 B/vertex): 88m + 24n bytes over the entry heap.
+TEST(MemoryEstimate, StreamingBuildPeakCutBelowOldPipeline) {
+  MMD_REQUIRE_COUNTER();
+  constexpr int side = 128;
+  GraphBuilder b(side * side);
+  const auto id = [&](int x, int y) {
+    return static_cast<Vertex>(x * side + y);
+  };
+  for (int x = 0; x < side; ++x)
+    for (int y = 0; y < side; ++y) {
+      if (x + 1 < side) b.add_edge(id(x, y), id(x + 1, y), 1.0);
+      if (y + 1 < side) b.add_edge(id(x, y), id(x, y + 1), 1.0);
+    }
+  const std::size_t n = static_cast<std::size_t>(side) * side;
+  const std::size_t m = 2 * static_cast<std::size_t>(side) * (side - 1);
+  reset_peak();
+  const std::size_t entry = live();
+  const Graph g = b.build();
+  ASSERT_EQ(static_cast<std::size_t>(g.num_edges()), m);
+  const std::size_t peak_delta = peak() - entry;
+  const std::size_t old_model = 88 * m + 24 * n;
+  EXPECT_LE(100 * peak_delta, 60 * old_model);
 }
 
 TEST(MemoryEstimate, WorkspaceEstimateTracksRefinePools) {

@@ -30,7 +30,13 @@
 // modes are feature-detected so before/after JSONs can be produced with
 // one binary each and merged by tools/bench_merge.py into BENCH_*.json.
 //
-// Usage: bench_runner [output.json] [--label name]
+// PR 9 adds the E12 huge-graph suite (--e12 / --e12-smoke): 10M+-vertex
+// grids and triangulated meshes plus a METIS-file round trip through the
+// streaming reader, run in ascending size order with every row stamped
+// with the process peak-RSS (util/rss.hpp) — the first bytes/edge and
+// peak-memory trajectory of the compact CSR layout.
+//
+// Usage: bench_runner [output.json] [--label name] [--e12 | --e12-smoke]
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -43,7 +49,16 @@
 #include "core/decompose.hpp"
 #include "core/refine.hpp"
 #include "gen/grid.hpp"
+#include "gen/mesh.hpp"
+#include "io/metis_io.hpp"
 #include "util/timer.hpp"
+
+// Seed trees predate util/rss.hpp; their rows carry peak_rss_bytes 0 (the
+// merge keeps the current side's stamps).
+#if __has_include("util/rss.hpp")
+#define MMD_BENCH_HAS_RSS 1
+#include "util/rss.hpp"
+#endif
 
 #if __has_include("core/workspace.hpp")
 #define MMD_BENCH_HAS_WORKSPACE 1
@@ -95,9 +110,27 @@ struct Row {
   double ms = 0.0;
   double max_boundary = 0.0;
   long moves = -1;
+  std::size_t peak_rss = 0;     // stamped at push time (monotone)
+  long long m = 0;              // edge count (E12 rows)
+  std::size_t graph_bytes = 0;  // Graph::memory_bytes (E12 rows)
 };
 
 std::vector<Row> g_rows;
+
+std::size_t process_peak_rss() {
+#ifdef MMD_BENCH_HAS_RSS
+  return peak_rss_bytes();
+#else
+  return 0;
+#endif
+}
+
+/// All rows funnel through here so each carries the peak-RSS high-water
+/// mark as of the moment it was measured.
+void push_row(Row row) {
+  row.peak_rss = process_peak_rss();
+  g_rows.push_back(std::move(row));
+}
 
 int reps_for(int side) { return side >= 256 ? 7 : 9; }
 
@@ -137,7 +170,7 @@ void bench_decompose(const char* config, int side, int k, double heavy = 0.0) {
     cold.ms = std::min(cold.ms, t.seconds() * 1e3);
     cold.max_boundary = res.max_boundary;
   }
-  g_rows.push_back(cold);
+  push_row(cold);
 
   Row warm{"decompose_grid2d", config, side, g.num_vertices(), k,
            "warm",            1e300,  0.0};
@@ -156,7 +189,7 @@ void bench_decompose(const char* config, int side, int k, double heavy = 0.0) {
     warm.ms = std::min(warm.ms, t.seconds() * 1e3);
     warm.max_boundary = res.max_boundary;
   }
-  g_rows.push_back(warm);
+  push_row(warm);
 
 #ifdef MMD_BENCH_HAS_CONTEXT
   // The public warm path: a reused DecomposeContext (owned splitter +
@@ -181,7 +214,7 @@ void bench_decompose(const char* config, int side, int k, double heavy = 0.0) {
       row.ms = std::min(row.ms, t.seconds() * 1e3);
       row.max_boundary = res.max_boundary;
     }
-    g_rows.push_back(row);
+    push_row(row);
   }
 
   // PR 4's SweepEval modes on the warm context path: the default
@@ -203,7 +236,7 @@ void bench_decompose(const char* config, int side, int k, double heavy = 0.0) {
         row.ms = std::min(row.ms, t.seconds() * 1e3);
         row.max_boundary = res.max_boundary;
       }
-      g_rows.push_back(row);
+      push_row(row);
     }
   }
 #endif
@@ -229,7 +262,7 @@ void bench_fast(const char* config, int side, int k) {
     cold.ms = std::min(cold.ms, t.seconds() * 1e3);
     cold.max_boundary = res.max_boundary;
   }
-  g_rows.push_back(cold);
+  push_row(cold);
 
 #ifdef MMD_HAS_FAST_CONTEXT
   // The warm multilevel path: cached hierarchy, warm coarse context,
@@ -251,7 +284,7 @@ void bench_fast(const char* config, int side, int k) {
       row.ms = std::min(row.ms, t.seconds() * 1e3);
       row.max_boundary = res.max_boundary;
     }
-    g_rows.push_back(row);
+    push_row(row);
   }
 #endif
 }
@@ -272,7 +305,7 @@ void bench_refine(const char* suite, int side, int k, const Coloring& base,
       row.max_boundary = stats.max_boundary_after;
       row.moves = stats.moves;
     }
-    g_rows.push_back(row);
+    push_row(row);
   };
 
   if constexpr (HasEngine<MinmaxRefineOptions>::value) {
@@ -308,29 +341,142 @@ void bench_refine_converged(int side, int k) {
   bench_refine("refine_converged", side, k, base, MinmaxRefineOptions{});
 }
 
+// ---- E12: the huge-graph suite (PR 9) --------------------------------------
+// Sizes run strictly ascending so the monotone peak-RSS stamp on each row
+// reflects the largest instance processed so far.  Reps are small (the
+// instances are 16-160x larger than every other suite) and "cold" stays
+// the seed-comparable default mode.
+
+/// Decompose rows (cold + ctx-warm) for one prebuilt instance.
+void bench_e12_decompose(const char* suite, const char* config, const Graph& g,
+                         int side, int k, int reps) {
+  const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  DecomposeOptions opt;
+  opt.k = k;
+
+  Row cold{suite, config, side, g.num_vertices(), k, "cold", 1e300, 0.0};
+  cold.m = g.num_edges();
+  cold.graph_bytes = g.memory_bytes();
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const DecomposeResult res = decompose(g, w, opt);
+    cold.ms = std::min(cold.ms, t.seconds() * 1e3);
+    cold.max_boundary = res.max_boundary;
+  }
+  push_row(cold);
+
+#ifdef MMD_BENCH_HAS_CONTEXT
+  Row warm{suite, config, side, g.num_vertices(), k, "ctx-warm", 1e300, 0.0};
+  warm.m = g.num_edges();
+  warm.graph_bytes = g.memory_bytes();
+  DecomposeContext ctx(g, opt);
+  for (int r = 0; r < reps + 1; ++r) {  // first call builds the caches
+    Timer t;
+    const DecomposeResult res = ctx.decompose(w);
+    if (r == 0) continue;
+    warm.ms = std::min(warm.ms, t.seconds() * 1e3);
+    warm.max_boundary = res.max_boundary;
+  }
+  push_row(warm);
+#endif
+}
+
+/// Grid instance: one e12_build row (generator + GraphBuilder::build wall
+/// time, final graph bytes) and the decompose rows.
+void bench_e12_grid(const char* config, int side, int k, int reps) {
+  Timer tb;
+  const Graph g = make_grid_cube(2, side);
+  Row build{"e12_build", config, side, g.num_vertices(), 0, "cold",
+            tb.seconds() * 1e3, 0.0};
+  build.m = g.num_edges();
+  build.graph_bytes = g.memory_bytes();
+  push_row(build);
+  bench_e12_decompose("e12_grid2d", config, g, side, k, reps);
+}
+
+/// Triangulated mesh (bounded-degree planar, diagonals break gridness).
+void bench_e12_mesh(const char* config, int side, int k, int reps) {
+  Timer tb;
+  const Graph g = make_tri_mesh(side, side);
+  Row build{"e12_build", config, side, g.num_vertices(), 0, "cold",
+            tb.seconds() * 1e3, 0.0};
+  build.m = g.num_edges();
+  build.graph_bytes = g.memory_bytes();
+  push_row(build);
+  bench_e12_decompose("e12_mesh", config, g, side, k, reps);
+}
+
+/// METIS-file round trip: write a grid instance to disk, drop it, stream
+/// it back (e12_read row: read + rebuild wall time), then decompose.
+void bench_e12_metis(const char* config, int side, int k, int reps,
+                     const char* path) {
+  {
+    const Graph g = make_grid_cube(2, side);
+    const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()),
+                                1.0);
+    write_metis_file(g, w, path);
+  }  // the written graph is gone before the read starts
+  Timer tr;
+  const GraphWithWeights back = read_metis_file(path);
+  Row read{"e12_read", config, side, back.graph.num_vertices(), 0, "cold",
+           tr.seconds() * 1e3, 0.0};
+  read.m = back.graph.num_edges();
+  read.graph_bytes = back.graph.memory_bytes();
+  push_row(read);
+  std::remove(path);
+  bench_e12_decompose("e12_metis", config, back.graph, side, k, reps);
+}
+
+/// The full E12 suite: 1M / 4.2M / 10.2M grids, a 10.0M mesh, and a METIS
+/// file round trip, ascending.
+void bench_e12(bool smoke) {
+  const char* metis_path = "mmd_e12_metis.graph.tmp";
+  if (smoke) {
+    // CI-sized (~1M vertices): the committed peak-RSS baseline rows.
+    bench_e12_metis("grid512-file", 512, 16, 1, metis_path);
+    bench_e12_mesh("mesh1024", 1024, 16, 1);
+    bench_e12_grid("grid1024", 1024, 16, 1);
+    return;
+  }
+  bench_e12_grid("grid1024", 1024, 16, 2);
+  bench_e12_metis("grid2048-file", 2048, 16, 1, metis_path);
+  bench_e12_grid("grid2048", 2048, 16, 1);
+  bench_e12_mesh("mesh3163", 3163, 16, 1);  // 10,004,569 vertices
+  bench_e12_grid("grid3200", 3200, 16, 1);  // 10,240,000 vertices
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out_path = "bench_out.json";
   const char* label = "current";
+  bool e12 = false, e12_smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
+    } else if (std::strcmp(argv[i], "--e12") == 0) {
+      e12 = true;
+    } else if (std::strcmp(argv[i], "--e12-smoke") == 0) {
+      e12_smoke = true;
     } else {
       out_path = argv[i];
     }
   }
 
-  for (const int side : {16, 32, 64, 128, 256}) bench_decompose("n-sweep", side, 16);
-  for (const int k : {2, 8, 32, 128}) bench_decompose("k-sweep", 96, k);
-  // Heavy-tailed weights widen the hard window (||w||_inf/2), giving the
-  // eval-window rule room to pick cheaper cuts than the crossing prefix.
-  bench_decompose("w-sweep-h8", 48, 16, 8.0);
-  bench_decompose("w-sweep-h4", 64, 8, 4.0);
-  bench_decompose("w-sweep-h4", 96, 32, 4.0);
-  for (const int side : {32, 64, 128}) bench_fast("n-sweep", side, 16);
-  for (const int k : {16, 64}) bench_refine_random(128, k);
-  for (const int k : {16, 64}) bench_refine_converged(192, k);
+  if (e12 || e12_smoke) {
+    bench_e12(e12_smoke);
+  } else {
+    for (const int side : {16, 32, 64, 128, 256}) bench_decompose("n-sweep", side, 16);
+    for (const int k : {2, 8, 32, 128}) bench_decompose("k-sweep", 96, k);
+    // Heavy-tailed weights widen the hard window (||w||_inf/2), giving the
+    // eval-window rule room to pick cheaper cuts than the crossing prefix.
+    bench_decompose("w-sweep-h8", 48, 16, 8.0);
+    bench_decompose("w-sweep-h4", 64, 8, 4.0);
+    bench_decompose("w-sweep-h4", 96, 32, 4.0);
+    for (const int side : {32, 64, 128}) bench_fast("n-sweep", side, 16);
+    for (const int k : {16, 64}) bench_refine_random(128, k);
+    for (const int k : {16, 64}) bench_refine_converged(192, k);
+  }
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
@@ -348,16 +494,25 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n  \"label\": \"%s\",\n  \"rows\": [\n", label);
   for (std::size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
-    const std::string moves =
+    std::string extra =
         r.moves >= 0 ? ", \"moves\": " + std::to_string(r.moves) : "";
+    if (r.m > 0) {
+      extra += ", \"m\": " + std::to_string(r.m);
+      extra += ", \"graph_bytes\": " + std::to_string(r.graph_bytes);
+      extra += ", \"bytes_per_edge\": " +
+               std::to_string(r.m > 0 ? static_cast<double>(r.graph_bytes) /
+                                            static_cast<double>(r.m)
+                                      : 0.0);
+    }
     std::fprintf(f,
                  "    {\"suite\": \"%s\", \"config\": \"%s\", \"side\": %d, "
                  "\"n\": %d, \"k\": %d, \"mode\": \"%s\", \"ms\": %.3f, "
-                 "\"max_boundary\": %.3f%s, \"host_cores\": %u, "
-                 "\"build_type\": \"%s\"}%s\n",
+                 "\"max_boundary\": %.3f%s, \"peak_rss_bytes\": %zu, "
+                 "\"host_cores\": %u, \"build_type\": \"%s\"}%s\n",
                  r.suite.c_str(), r.config.c_str(), r.side, r.n, r.k,
-                 r.mode.c_str(), r.ms, r.max_boundary, moves.c_str(),
-                 host_cores, build_type, i + 1 < g_rows.size() ? "," : "");
+                 r.mode.c_str(), r.ms, r.max_boundary, extra.c_str(),
+                 r.peak_rss, host_cores, build_type,
+                 i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

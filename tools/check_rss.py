@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate peak-RSS regressions in an E12 bench run against a baseline.
+
+Usage: check_rss.py current.json baseline.json [--tolerance 0.10]
+
+Both files are bench_runner outputs.  Rows are matched on
+(suite, config, side, k, mode); for every matched pair the current
+peak_rss_bytes may exceed the baseline by at most the tolerance fraction
+(default 10%).  peak_rss_bytes is a process-wide high-water mark, so the
+comparison only means something when both runs executed the same configs
+in the same (ascending-size) order — which bench_runner guarantees.
+
+Exit codes: 0 ok, 1 regression or malformed input.  Baseline rows missing
+from the current run fail (coverage must not silently shrink); current
+rows missing from the baseline are reported but pass (new configs need a
+baseline refresh, not a red build).
+"""
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (row["suite"], row["config"], row["side"], row["k"], row["mode"])
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc["rows"]:
+        # Repeated configs keep the max: RSS is a high-water mark.
+        key = row_key(row)
+        prev = rows.get(key)
+        if prev is None or row.get("peak_rss_bytes", 0) > prev.get(
+            "peak_rss_bytes", 0
+        ):
+            rows[key] = row
+    return rows
+
+
+def fmt_bytes(b):
+    return f"{b / (1 << 20):.1f} MiB"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    failures = []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"{key}: row missing from {args.current}")
+            continue
+        cur = cur_row.get("peak_rss_bytes", 0)
+        base = base_row.get("peak_rss_bytes", 0)
+        if cur <= 0:
+            failures.append(f"{key}: current run has no peak_rss_bytes stamp")
+            continue
+        if base <= 0:
+            failures.append(f"{key}: baseline has no peak_rss_bytes stamp")
+            continue
+        limit = base * (1.0 + args.tolerance)
+        status = "ok" if cur <= limit else "FAIL"
+        print(
+            f"{status}: {key}: peak RSS {fmt_bytes(cur)} vs baseline "
+            f"{fmt_bytes(base)} (limit {fmt_bytes(limit)})"
+        )
+        if cur > limit:
+            failures.append(
+                f"{key}: peak RSS {fmt_bytes(cur)} exceeds baseline "
+                f"{fmt_bytes(base)} by more than {args.tolerance:.0%}"
+            )
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"note: {key}: not in baseline (refresh bench/e12_rss_baseline.json)")
+
+    if failures:
+        print(f"\n{len(failures)} peak-RSS check(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"all {len(baseline)} peak-RSS checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

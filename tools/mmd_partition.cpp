@@ -62,6 +62,7 @@
 
 #include "baselines/greedy.hpp"
 #include "baselines/recursive_bisection.hpp"
+#include "core/context.hpp"
 #include "core/decompose.hpp"
 #include "core/fast.hpp"
 #include "core/verify.hpp"
@@ -69,6 +70,7 @@
 #include "io/metis_io.hpp"
 #include "io/ppm.hpp"
 #include "separators/prefix_splitter.hpp"
+#include "util/rss.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -80,7 +82,8 @@ namespace {
                "       [--window-scan] [--threads <n>] [--fork-depth <d>]\n"
                "       [--timeout-ms <ms>] [--image <ppm>]\n"
                "       [--repartition <deltas-file>]\n"
-               "       [--compare] [--quiet] [--verify] <input.graph>\n"
+               "       [--compare] [--quiet] [--verify] [--mem-stats] "
+               "<input.graph>\n"
                "       %s --serve [--budget-kb <kb>] [--queue <n>] "
                "[--workers <n>]\n",
                argv0, argv0);
@@ -360,6 +363,7 @@ int main(int argc, char** argv) {
   double p = 2.0;
   std::string input, output, image, repartition_file;
   bool fast = false, compare = false, quiet = false, verify = false;
+  bool mem_stats = false;
   bool window_scan = false;
   int threads = 1;
   int fork_depth = 0;  // 0 = derive the lane-tree depth from the pool
@@ -389,6 +393,8 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--verify") {
       verify = true;
+    } else if (arg == "--mem-stats") {
+      mem_stats = true;  // graph/workspace/context byte breakdown on stdout
     } else if (arg == "--repartition") {
       repartition_file = next();
     } else if (arg == "--window-scan") {
@@ -448,6 +454,8 @@ int main(int argc, char** argv) {
     BalanceReport base_balance;
     long migration_cost = -1;
     bool rep_incremental = false, rep_escalated = false;
+    // --mem-stats breakdown, filled by whichever solve path runs.
+    std::size_t ws_bytes = 0, ctx_bytes = 0;
     if (fast) {
       FastOptions opt;
       opt.inner.k = k;
@@ -458,7 +466,15 @@ int main(int argc, char** argv) {
       opt.inner.num_threads = threads;
       opt.inner.fork_depth = fork_depth;
       opt.inner.exec = exec;
-      FastResult res = decompose_fast(g, in.weights, opt);
+      FastResult res = [&] {
+        if (!mem_stats) return decompose_fast(g, in.weights, opt);
+        // decompose_fast is itself a transient FastContext; holding one
+        // here lets us read the warm footprint before teardown.
+        FastContext fctx(g, opt);
+        FastResult r = fctx.decompose(in.weights);
+        ctx_bytes = fctx.memory_estimate_bytes();
+        return r;
+      }();
       chi = std::move(res.coloring);
       balance = res.balance;
       max_b = res.max_boundary;
@@ -480,7 +496,16 @@ int main(int argc, char** argv) {
       opt.fork_depth = fork_depth;
       opt.exec = exec;
       if (repartition_file.empty()) {
-        DecomposeResult res = decompose(g, in.weights, opt);
+        DecomposeResult res = [&] {
+          if (!mem_stats) return decompose(g, in.weights, opt);
+          // decompose() is itself a transient DecomposeContext; holding
+          // one here lets us read the warm footprint before teardown.
+          DecomposeContext ctx(g, opt);
+          DecomposeResult r = ctx.decompose(in.weights);
+          ws_bytes = ctx.workspace().memory_bytes();
+          ctx_bytes = ctx.memory_estimate_bytes();
+          return r;
+        }();
         chi = std::move(res.coloring);
         balance = res.balance;
         max_b = res.max_boundary;
@@ -523,6 +548,8 @@ int main(int argc, char** argv) {
         rep_escalated = res.escalated;
         did_repartition = true;
         final_weights.assign(ctx.weights().begin(), ctx.weights().end());
+        ws_bytes = ctx.workspace().memory_bytes();
+        ctx_bytes = ctx.memory_estimate_bytes();
       }
     }
 
@@ -591,6 +618,19 @@ int main(int argc, char** argv) {
                                     : (rep_escalated ? "escalated to full solve"
                                                      : "full (no prior)"),
                     migration_cost, g.num_vertices());
+    }
+    if (mem_stats) {
+      // Printed even under --quiet: the breakdown is the requested output.
+      const std::size_t gb = g.memory_bytes();
+      const double bpe =
+          g.num_edges() > 0 ? static_cast<double>(gb) / g.num_edges() : 0.0;
+      std::printf("mem-stats: graph_bytes=%zu bytes_per_edge=%.1f "
+                  "offsets=%s\n",
+                  gb, bpe, g.wide_offsets() ? "64-bit" : "32-bit");
+      std::printf("mem-stats: workspace_bytes=%zu context_estimate_bytes=%zu\n",
+                  ws_bytes, ctx_bytes);
+      std::printf("mem-stats: peak_rss_bytes=%zu current_rss_bytes=%zu\n",
+                  peak_rss_bytes(), current_rss_bytes());
     }
     if (degraded) return 3;            // deadline, best-effort result
     if (!verify_ok) return 4;          // our own certificate failed
