@@ -130,9 +130,11 @@ ISplitter& FastContext::fine_splitter() {
     ++stats_.fine_splitter_builds;
   }
   fine_splitter_->set_fork_depth(options_.inner.fork_depth);
-  // Re-stamped per call like fork_depth: both are per-call state.
+  // Re-stamped per call like fork_depth: all of these are per-call state.
   fine_splitter_->set_exec_control(options_.inner.exec);
   fine_splitter_->set_diagnostics(options_.inner.diagnostics);
+  fine_splitter_->set_sweep_mode(effective_sweep_mode(options_.inner));
+  fine_splitter_->set_adaptive_margin(options_.inner.adaptive_margin);
   return *fine_splitter_;
 }
 

@@ -115,6 +115,142 @@ Graph make_random_geometric(int n, double radius, const CostParams& costs,
   return builder.build();
 }
 
+Graph make_aniso_geometric(int n, double radius, double aspect,
+                           const CostParams& costs, std::uint64_t seed,
+                           int max_degree) {
+  MMD_REQUIRE(n >= 1, "need at least one point");
+  MMD_REQUIRE(radius > 0.0 && radius <= 1.0, "radius in (0,1]");
+  MMD_REQUIRE(aspect >= 1.0, "aspect must be >= 1");
+  MMD_REQUIRE(max_degree >= 1, "max_degree >= 1");
+  Rng rng(seed);
+  // Points in a flat [0,1] x [0,1/aspect] slab; the Buckets index works on
+  // any subset of [0,1]^2, it just leaves the upper rows empty.
+  std::vector<Point> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.uniform();
+    p.y = rng.uniform() / aspect;
+  }
+  Buckets buckets(pts, radius);
+
+  GraphBuilder builder(n);
+  attach_scaled_coords(builder, pts);
+  std::vector<std::pair<double, Vertex>> cand;
+  for (Vertex v = 0; v < n; ++v) {
+    cand.clear();
+    buckets.for_neighborhood(pts[static_cast<std::size_t>(v)], 1, [&](Vertex u) {
+      if (u <= v) return;
+      const double d = dist(pts[static_cast<std::size_t>(v)], pts[static_cast<std::size_t>(u)]);
+      if (d <= radius) cand.emplace_back(d, u);
+    });
+    std::sort(cand.begin(), cand.end());
+    const std::size_t limit = std::min<std::size_t>(cand.size(),
+                                                    static_cast<std::size_t>(max_degree));
+    for (std::size_t i = 0; i < limit; ++i)
+      builder.add_edge(v, cand[i].second,
+                       edge_cost_for(costs, cand[i].first, radius, rng));
+  }
+  return builder.build();
+}
+
+namespace {
+
+struct Point3 {
+  double x, y, z;
+};
+
+/// Uniform-grid spatial index over [0,1]^3, the Buckets analog one
+/// dimension up.
+class Buckets3 {
+ public:
+  Buckets3(const std::vector<Point3>& pts, double cell)
+      : cell_(std::max(cell, 1e-4)),
+        side_(std::max(1, static_cast<int>(1.0 / cell_))),
+        grid_(static_cast<std::size_t>(side_) * side_ * side_) {
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      grid_[index(pts[i])].push_back(static_cast<Vertex>(i));
+  }
+
+  template <typename Fn>
+  void for_neighborhood(const Point3& p, int ring, Fn&& fn) const {
+    const int cx = clamp_cell(static_cast<int>(p.x / cell_));
+    const int cy = clamp_cell(static_cast<int>(p.y / cell_));
+    const int cz = clamp_cell(static_cast<int>(p.z / cell_));
+    for (int dx = -ring; dx <= ring; ++dx)
+      for (int dy = -ring; dy <= ring; ++dy)
+        for (int dz = -ring; dz <= ring; ++dz) {
+          const int x = cx + dx, y = cy + dy, z = cz + dz;
+          if (x < 0 || y < 0 || z < 0 || x >= side_ || y >= side_ ||
+              z >= side_)
+            continue;
+          for (Vertex v :
+               grid_[(static_cast<std::size_t>(z) * side_ + y) * side_ + x])
+            fn(v);
+        }
+  }
+
+ private:
+  std::size_t index(const Point3& p) const {
+    const int cx = clamp_cell(static_cast<int>(p.x / cell_));
+    const int cy = clamp_cell(static_cast<int>(p.y / cell_));
+    const int cz = clamp_cell(static_cast<int>(p.z / cell_));
+    return (static_cast<std::size_t>(cz) * side_ + cy) * side_ + cx;
+  }
+  int clamp_cell(int c) const { return std::clamp(c, 0, side_ - 1); }
+
+  double cell_;
+  int side_;
+  std::vector<std::vector<Vertex>> grid_;
+};
+
+double dist3(const Point3& a, const Point3& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace
+
+Graph make_random_geometric3(int n, double radius, const CostParams& costs,
+                             std::uint64_t seed, int max_degree) {
+  MMD_REQUIRE(n >= 1, "need at least one point");
+  MMD_REQUIRE(radius > 0.0 && radius <= 1.0, "radius in (0,1]");
+  MMD_REQUIRE(max_degree >= 1, "max_degree >= 1");
+  Rng rng(seed);
+  std::vector<Point3> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p.x = rng.uniform();
+    p.y = rng.uniform();
+    p.z = rng.uniform();
+  }
+  Buckets3 buckets(pts, radius);
+
+  GraphBuilder builder(n);
+  constexpr std::int32_t kResolution = 1 << 20;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::array<std::int32_t, 3> xyz{
+        static_cast<std::int32_t>(pts[i].x * kResolution),
+        static_cast<std::int32_t>(pts[i].y * kResolution),
+        static_cast<std::int32_t>(pts[i].z * kResolution)};
+    builder.set_coords(static_cast<Vertex>(i), xyz);
+  }
+  std::vector<std::pair<double, Vertex>> cand;
+  for (Vertex v = 0; v < n; ++v) {
+    cand.clear();
+    buckets.for_neighborhood(pts[static_cast<std::size_t>(v)], 1, [&](Vertex u) {
+      if (u <= v) return;
+      const double d =
+          dist3(pts[static_cast<std::size_t>(v)], pts[static_cast<std::size_t>(u)]);
+      if (d <= radius) cand.emplace_back(d, u);
+    });
+    std::sort(cand.begin(), cand.end());
+    const std::size_t limit = std::min<std::size_t>(
+        cand.size(), static_cast<std::size_t>(max_degree));
+    for (std::size_t i = 0; i < limit; ++i)
+      builder.add_edge(v, cand[i].second,
+                       edge_cost_for(costs, cand[i].first, radius, rng));
+  }
+  return builder.build();
+}
+
 Graph make_knn(int n, int k, const CostParams& costs, std::uint64_t seed) {
   MMD_REQUIRE(n >= 2 && k >= 1 && k < n, "knn needs 2 <= k+1 <= n");
   Rng rng(seed);

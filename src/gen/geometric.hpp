@@ -24,4 +24,19 @@ Graph make_random_geometric(int n, double radius, const CostParams& costs = {},
 Graph make_knn(int n, int k, const CostParams& costs = {},
                std::uint64_t seed = 13);
 
+/// 3-D random geometric graph on n points in [0,1]^3 (unit-ball style),
+/// same degree cap and cost models as make_random_geometric.  Carries
+/// 3-axis integer coordinates, so it exercises the d >= 3 sweep and
+/// splitter paths (per-axis orders, no Morton/grid shortcuts).
+Graph make_random_geometric3(int n, double radius, const CostParams& costs = {},
+                             std::uint64_t seed = 17, int max_degree = 14);
+
+/// Anisotropic 2-D geometric graph: n points in a [0,1] x [0,1/aspect]
+/// slab (aspect >= 1), joined within `radius`.  The flattened geometry
+/// gives strongly direction-dependent cut costs — the workload where a
+/// single sweep family misjudges and window/adaptive prefix picks matter.
+Graph make_aniso_geometric(int n, double radius, double aspect,
+                           const CostParams& costs = {},
+                           std::uint64_t seed = 19, int max_degree = 12);
+
 }  // namespace mmd

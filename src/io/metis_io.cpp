@@ -1,5 +1,7 @@
 #include "io/metis_io.hpp"
 
+#include "io/strict_parse.hpp"
+
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -12,42 +14,9 @@ namespace mmd {
 
 namespace {
 
-// strtoll/strtod-based token parsers: unlike operator>>, they distinguish
-// "not a number" from "overflows" and never accept trailing garbage, so
-// every malformed token becomes a typed ParseError with its line number
-// instead of a silently misparsed graph.
-
-long long parse_ll(const char* tok, long line, const char* what) {
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(tok, &end, 10);
-  if (end == tok || *end != '\0')
-    throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
-  if (errno == ERANGE)
-    throw ParseError(line, std::string(what) + " '" + tok + "' overflows");
-  return v;
-}
-
-std::int32_t parse_i32(const char* tok, long line, const char* what) {
-  const long long v = parse_ll(tok, line, what);
-  if (v < std::numeric_limits<std::int32_t>::min() ||
-      v > std::numeric_limits<std::int32_t>::max())
-    throw ParseError(line, std::string(what) + " '" + tok +
-                               "' overflows 32 bits");
-  return static_cast<std::int32_t>(v);
-}
-
-double parse_finite_double(const char* tok, long line, const char* what) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(tok, &end);
-  if (end == tok || *end != '\0')
-    throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
-  if (!std::isfinite(v))
-    throw ParseError(line, std::string(what) + " '" + tok +
-                               "' is not a finite value");
-  return v;
-}
+// The strict token parsers (parse_ll & co.) live in io/strict_parse.hpp —
+// shared with the CLI tools, which need the same garbage-rejecting
+// behavior for their numeric arguments.
 
 // Buffered line reader for the streaming graph parse: a fixed 1 MiB window
 // over the stream, lines handed out as NUL-terminated views into the buffer

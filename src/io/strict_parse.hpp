@@ -1,0 +1,64 @@
+// Strict numeric token parsers shared by the I/O layer and the CLI tools.
+//
+// Unlike std::atoi/atof (which return 0 on garbage) and operator>> (which
+// cannot distinguish "not a number" from "overflows"), these reject
+// trailing garbage, detect range errors, and throw a typed ParseError
+// carrying a 1-based line (or argument) number — so a malformed token is a
+// diagnosable error, never a silently misparsed value.  Extracted from the
+// METIS reader so command-line argument parsing (trace_replay and friends)
+// uses the same hardened path.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "io/metis_io.hpp"
+
+namespace mmd {
+
+inline long long parse_ll(const char* tok, long line, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok, &end, 10);
+  if (end == tok || *end != '\0')
+    throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
+  if (errno == ERANGE)
+    throw ParseError(line, std::string(what) + " '" + tok + "' overflows");
+  return v;
+}
+
+inline std::int32_t parse_i32(const char* tok, long line, const char* what) {
+  const long long v = parse_ll(tok, line, what);
+  if (v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max())
+    throw ParseError(line, std::string(what) + " '" + tok +
+                               "' overflows 32 bits");
+  return static_cast<std::int32_t>(v);
+}
+
+inline std::uint64_t parse_u64(const char* tok, long line, const char* what) {
+  const long long v = parse_ll(tok, line, what);
+  if (v < 0)
+    throw ParseError(line, std::string(what) + " '" + tok +
+                               "' must be non-negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+inline double parse_finite_double(const char* tok, long line,
+                                  const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok, &end);
+  if (end == tok || *end != '\0')
+    throw ParseError(line, std::string("non-numeric ") + what + " '" + tok + "'");
+  if (!std::isfinite(v))
+    throw ParseError(line, std::string(what) + " '" + tok +
+                               "' is not a finite value");
+  return v;
+}
+
+}  // namespace mmd

@@ -57,6 +57,15 @@ class CompositeSplitter final : public ISplitter {
     return best;
   }
 
+  /// The composite honors a sweep mode when at least one child does (the
+  /// forwarding below stamps every child; children that cannot honor it
+  /// keep their default rule and report their own fallback).
+  bool supports_sweep_mode(SweepMode mode) const override {
+    for (const auto& child : children_)
+      if (child->supports_sweep_mode(mode)) return true;
+    return false;
+  }
+
   std::string name() const override {
     std::string s = "best-of(";
     for (std::size_t i = 0; i < children_.size(); ++i) {
@@ -92,6 +101,12 @@ class CompositeSplitter final : public ISplitter {
   }
   void on_diagnostics_changed(DecomposeDiagnostics* diag) override {
     for (const auto& child : children_) child->set_diagnostics(diag);
+  }
+  void on_sweep_mode_changed(SweepMode mode) override {
+    for (const auto& child : children_) child->set_sweep_mode(mode);
+  }
+  void on_adaptive_margin_changed(double margin) override {
+    for (const auto& child : children_) child->set_adaptive_margin(margin);
   }
 
  private:

@@ -5,9 +5,11 @@
 // random sphere/halfspace cuts.
 //
 // The splitter samples random directions (halfspace sweeps) and random
-// sphere centers (radial sweeps), orders the vertices along each, takes
-// the better-of-two prefix (hard ||w||_inf/2 window), keeps the cheapest
-// cut, and optionally FM-refines it.  Deterministic per seed.
+// sphere centers (radial sweeps), orders the vertices along each, picks a
+// prefix by the stamped SweepMode (better-of-two by default; WindowMin /
+// Adaptive take the cheapest prefix inside the hard ||w||_inf/2 window),
+// keeps the cheapest cut, and optionally FM-refines it.  Deterministic
+// per seed.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +32,11 @@ class GeometricSplitter final : public ISplitter {
 
   SplitResult split(const SplitRequest& request) override;
   std::string name() const override { return "geometric"; }
+
+  /// Every sweep (halfspace and radial) evaluates through SweepEval with
+  /// the stamped mode — historically this path hardcoded the better-of-two
+  /// rule and silently dropped window_scan requests.
+  bool supports_sweep_mode(SweepMode) const override { return true; }
 
   /// Stateless between splits (deterministic per-options seed), so a lane
   /// is simply a fresh instance with the same options — multi_split's

@@ -33,9 +33,12 @@ class GridSplitRec {
  public:
   GridSplitRec(const Graph& g, std::span<const double> weights,
                OrderingCache& cache, OrderingScratch& radix,
-               Membership& in_level, GridSplitter::Scratch& s)
+               Membership& in_level, GridSplitter::Scratch& s,
+               SweepEval& sweep, Membership& in_u, SweepMode mode,
+               double margin)
       : g_(g), weights_(weights), cache_(cache), radix_(radix),
-        in_level_(in_level), s_(s), dim_(g.dim()) {}
+        in_level_(in_level), s_(s), sweep_(sweep), in_u_(in_u), mode_(mode),
+        margin_(margin), dim_(g.dim()) {}
 
   int depth = 0;
 
@@ -271,9 +274,12 @@ class GridSplitRec {
   }
 
  private:
-  /// l == 1: lexicographic vertex order, better-of-two prefix (monotone by
-  /// Lemma 22).  The level's total weight is already on hand from run()'s
-  /// fused pass, so the SweepEval prefix rule runs presummed.
+  /// l == 1: lexicographic vertex order, prefix chosen by the stamped
+  /// sweep mode — better-of-two presummed (the seed path, bit-identical),
+  /// or a full SweepEval scan for WindowMin/Adaptive (any window prefix of
+  /// the lexicographic order is monotone by Lemma 22, so the cheaper pick
+  /// keeps the structural guarantee).  The level's total weight is already
+  /// on hand from run()'s fused pass.
   std::vector<Vertex> trivial(const std::vector<Vertex>& verts, double target,
                               double total) const {
     std::vector<Vertex> order;
@@ -282,8 +288,21 @@ class GridSplitRec {
     // radix scratch, so lanes sharing this cache stay race-free.
     cache_.bind(g_);
     cache_.subset_order(/*lexicographic=*/0, verts, nullptr, order, &radix_);
-    const std::size_t len = best_prefix(order, weights_, target, total);
-    order.resize(len);
+    if (mode_ == SweepMode::BetterOfTwo) {
+      order.resize(best_prefix(order, weights_, target, total));
+      return order;
+    }
+    // in_level_ represents exactly `verts` here (run() maintains it per
+    // level), so it doubles as the eval's W marker; in_u_ is the owning
+    // splitter's scratch, re-assigned by its final evaluate_split anyway.
+    SubsetWeightStats stats;
+    stats.total = total;
+    for (const Vertex v : verts)
+      stats.max = std::max(stats.max, weights_[static_cast<std::size_t>(v)]);
+    const SweepEvalResult r =
+        sweep_.eval(g_, order, weights_, target, stats, in_level_, in_u_,
+                    mode_, std::numeric_limits<double>::infinity(), margin_);
+    order.resize(r.prefix_len);
     return order;
   }
 
@@ -293,6 +312,10 @@ class GridSplitRec {
   OrderingScratch& radix_;
   Membership& in_level_;
   GridSplitter::Scratch& s_;
+  SweepEval& sweep_;
+  Membership& in_u_;
+  SweepMode mode_;
+  double margin_;
   int dim_;
 };
 
@@ -323,7 +346,8 @@ SplitResult GridSplitter::split(const SplitRequest& request) {
 
   std::vector<Vertex> top(request.w_list.begin(), request.w_list.end());
   in_level_.assign(top);
-  GridSplitRec rec(g, request.weights, *cache_, radix_, in_level_, scratch_);
+  GridSplitRec rec(g, request.weights, *cache_, radix_, in_level_, scratch_,
+                   sweep_, in_u_, sweep_mode(), adaptive_margin());
   std::vector<Vertex> inside =
       rec.run(std::move(top), request.target, scale, 0.0);
   last_depth_ = rec.depth;

@@ -39,6 +39,11 @@ class GridSplitter final : public ISplitter {
   SplitResult split(const SplitRequest& request) override;
   std::string name() const override { return "grid"; }
 
+  /// The recursion's cell walk is mode-free (whole cells are taken until
+  /// the straddle), but the trivial l == 1 level is a sweep evaluation and
+  /// honors the stamped mode there.
+  bool supports_sweep_mode(SweepMode) const override { return true; }
+
   /// Lane replica: shares the immutable OrderingCache (used only by the
   /// trivial l == 1 level; bind() is serialized for concurrent lane-tree
   /// batches) and the cached min-positive-cost value; owns its
@@ -86,6 +91,7 @@ class GridSplitter final : public ISplitter {
   Membership in_w_, in_u_, in_level_;
   Scratch scratch_;
   OrderingScratch radix_;
+  SweepEval sweep_;  ///< trivial-level prefix evaluation (non-default modes)
   // Cached global minimum positive edge cost of the bound graph.
   std::uint64_t minpos_uid_ = 0;
   double min_pos_ = 0.0;

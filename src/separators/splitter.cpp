@@ -17,6 +17,8 @@ ISplitter* ISplitter::lane(int i) {
     lane->set_thread_pool(pool_);
     lane->set_exec_control(exec_);
     lane->set_diagnostics(diag_);
+    lane->set_sweep_mode(sweep_mode_);
+    lane->set_adaptive_margin(adaptive_margin_);
     lanes_.push_back(std::move(lane));
   }
   return lanes_[static_cast<std::size_t>(i)].get();
@@ -34,6 +36,34 @@ void ISplitter::set_diagnostics(DecomposeDiagnostics* diag) {
   diag_ = diag;
   for (const auto& lane : lanes_) lane->set_diagnostics(diag);
   on_diagnostics_changed(diag);
+}
+
+void ISplitter::set_sweep_mode(SweepMode mode) {
+  sweep_mode_ = mode;
+  // A splitter that cannot honor the requested rule keeps evaluating with
+  // the seed rule — correct (every mode yields the hard weight window) but
+  // not what the caller asked for, so say so once per instance instead of
+  // silently dropping the request (the historical window_scan bug on the
+  // geometric/grid paths).  The latch is only set when a sink actually
+  // heard the report, so a later stamp with diagnostics attached still
+  // fires.
+  if (mode != SweepMode::BetterOfTwo && !supports_sweep_mode(mode) &&
+      diag_ != nullptr && !mode_fallback_reported_) {
+    mode_fallback_reported_ = true;
+    diag_report(diag_, DiagEvent::SweepModeUnsupported,
+                "splitter does not support the requested sweep mode; "
+                "candidate prefixes keep the default better-of-two rule");
+  }
+  for (const auto& lane : lanes_) lane->set_sweep_mode(mode);
+  on_sweep_mode_changed(mode);
+}
+
+void ISplitter::set_adaptive_margin(double margin) {
+  MMD_REQUIRE(margin >= 0.0 && margin < 1.0,
+              "adaptive margin must lie in [0, 1)");
+  adaptive_margin_ = margin;
+  for (const auto& lane : lanes_) lane->set_adaptive_margin(margin);
+  on_adaptive_margin_changed(margin);
 }
 
 bool ISplitter::ensure_lanes(int count) {

@@ -25,6 +25,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
+#include "separators/sweep_eval.hpp"
 #include "util/diagnostics.hpp"
 #include "util/exec_control.hpp"
 
@@ -133,18 +134,45 @@ class ISplitter {
   void set_diagnostics(DecomposeDiagnostics* diag);
   DecomposeDiagnostics* diagnostics() const { return diag_; }
 
+  /// Prefix-choice rule for the sweep evaluations this splitter runs (see
+  /// SweepMode in sweep_eval.hpp).  Runtime state like the fork depth —
+  /// stored here, propagated to existing and future lanes, re-stamped per
+  /// call by the contexts — so every sweep consumer (prefix candidates,
+  /// geometric sweeps, the grid splitter's trivial level, composite
+  /// children) honors one setting without options plumbing.  Stamping a
+  /// non-default mode onto a splitter whose supports_sweep_mode rejects it
+  /// reports a one-time SweepModeUnsupported diagnostic instead of
+  /// silently evaluating with the seed rule (the historical window_scan
+  /// drop on geometric paths).
+  void set_sweep_mode(SweepMode mode);
+  SweepMode sweep_mode() const { return sweep_mode_; }
+
+  /// Relative acceptance margin of SweepMode::Adaptive; ignored by the
+  /// other modes.  Propagated and re-stamped exactly like the mode.
+  void set_adaptive_margin(double margin);
+  double adaptive_margin() const { return adaptive_margin_; }
+
+  /// Whether split() actually honors `mode`.  The default claims only the
+  /// seed rule; every sweep-evaluating implementation overrides this.
+  virtual bool supports_sweep_mode(SweepMode mode) const {
+    return mode == SweepMode::BetterOfTwo;
+  }
+
  protected:
   /// Hook for implementations that forward the pool (composite children)
   /// or cache it in a different shape; the base class has already stored
   /// `pool` and dropped stale lanes when this runs.
   virtual void on_thread_pool_changed(ThreadPool* pool) { (void)pool; }
 
-  /// Hooks mirroring on_thread_pool_changed for the exec control and the
-  /// diagnostics sink (composite forwards both to its children).
+  /// Hooks mirroring on_thread_pool_changed for the exec control, the
+  /// diagnostics sink, and the sweep policy (composite forwards all of
+  /// them to its children).
   virtual void on_exec_control_changed(const ExecControl& exec) { (void)exec; }
   virtual void on_diagnostics_changed(DecomposeDiagnostics* diag) {
     (void)diag;
   }
+  virtual void on_sweep_mode_changed(SweepMode mode) { (void)mode; }
+  virtual void on_adaptive_margin_changed(double margin) { (void)margin; }
 
   /// Call at the top of every split() implementation: the deterministic
   /// fault-injection site (splitter-fault plans) followed by the exec
@@ -160,9 +188,12 @@ class ISplitter {
   int fork_depth_ = 0;
   ExecControl exec_;
   DecomposeDiagnostics* diag_ = nullptr;
+  SweepMode sweep_mode_ = SweepMode::BetterOfTwo;
+  double adaptive_margin_ = kDefaultAdaptiveMargin;
   std::vector<std::unique_ptr<ISplitter>> lanes_;
   bool lanes_unsupported_ = false;
   bool lane_fallback_reported_ = false;
+  bool mode_fallback_reported_ = false;
 };
 
 /// Verify the hard weight-window postcondition; throws InvariantViolation

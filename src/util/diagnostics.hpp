@@ -27,6 +27,9 @@ enum class DiagEvent {
   DegradedResult,       ///< deadline hit in fast mode; best-effort returned
   ConcurrentContextEntry,  ///< a context (exclusive per call) was entered
                            ///< while another call held it — caller bug
+  SweepModeUnsupported,  ///< a non-default SweepMode was stamped on a
+                         ///< splitter that cannot honor it; evaluation
+                         ///< keeps the better-of-two rule
 };
 
 /// Caller-owned diagnostics sink (borrowed by DecomposeOptions; must
@@ -51,6 +54,10 @@ struct DecomposeDiagnostics {
   /// see ExclusiveUse in core/context.hpp).  Debug builds additionally
   /// throw InvariantViolation at the offending entry.
   std::atomic<long> concurrent_context_entries{0};
+  /// A non-default SweepMode was stamped onto a splitter whose
+  /// supports_sweep_mode rejects it; sweeps on that splitter keep the
+  /// better-of-two rule (the request is recorded, not honored).
+  std::atomic<long> sweep_mode_fallbacks{0};
 
   /// Optional log hook; `message` has static storage duration.
   std::function<void(DiagEvent event, const char* message)> callback;
@@ -62,6 +69,7 @@ struct DecomposeDiagnostics {
       case DiagEvent::PoolConstructFailed: ++pool_construct_failures; break;
       case DiagEvent::DegradedResult: ++degraded_results; break;
       case DiagEvent::ConcurrentContextEntry: ++concurrent_context_entries; break;
+      case DiagEvent::SweepModeUnsupported: ++sweep_mode_fallbacks; break;
     }
     if (callback) callback(event, message);
   }

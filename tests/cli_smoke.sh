@@ -6,10 +6,15 @@
 #   2  bad input (unreadable / malformed graph file, bad usage)
 #   3  deadline exceeded or cancelled (--timeout-ms)
 #
-# Usage: cli_smoke.sh <path-to-mmd_partition>
+# With a second argument it also pins trace_replay's strict argument
+# parsing (malformed numeric flags exit 2 instead of silently running a
+# different benchmark).
+#
+# Usage: cli_smoke.sh <path-to-mmd_partition> [path-to-trace_replay]
 set -u
 
-bin="${1:?usage: cli_smoke.sh <mmd_partition>}"
+bin="${1:?usage: cli_smoke.sh <mmd_partition> [trace_replay]}"
+replay="${2:-}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -213,6 +218,68 @@ case "$mem_out" in
   *"peak_rss_bytes="*) echo "ok: mem-stats rss line" ;;
   *) echo "FAIL: mem-stats lacks peak_rss_bytes: $mem_out" >&2; fails=$((fails + 1)) ;;
 esac
+
+# 16. --sweep-mode: the explicit default spelling is byte-identical to the
+#     flagless run; window and adaptive run clean; a bogus value is bad
+#     usage.  (--window-scan stays the legacy alias for window.)
+"$bin" -k 3 --quiet --sweep-mode default -o "$tmp/sm_def.part" "$good"
+check "--sweep-mode default" 0 $?
+cmp -s "$tmp/out.part" "$tmp/sm_def.part" || {
+  echo "FAIL: --sweep-mode default differs from flagless run" >&2
+  fails=$((fails + 1))
+}
+"$bin" -k 3 --quiet --sweep-mode window -o "$tmp/sm_win.part" "$good"
+check "--sweep-mode window" 0 $?
+"$bin" -k 3 --quiet --sweep-mode adaptive -o "$tmp/sm_ada.part" "$good"
+check "--sweep-mode adaptive" 0 $?
+[ -s "$tmp/sm_ada.part" ] || { echo "FAIL: no adaptive partition written" >&2; fails=$((fails + 1)); }
+"$bin" -k 3 --quiet --sweep-mode sideways "$good" 2> /dev/null
+check "--sweep-mode bogus value" 2 $?
+
+# 17. --serve honors the sweep_mode request field: valid values answer ok,
+#     an unknown value is an in-band bad_request and the session survives.
+sm_out="$tmp/serve_sm.out"
+{
+  echo '{"op":"load","graph":"g","path":"'"$good"'"}'
+  echo '{"op":"decompose","graph":"g","k":3,"sweep_mode":"adaptive"}'
+  echo '{"op":"decompose","graph":"g","k":3,"sweep_mode":"sideways"}'
+  echo '{"op":"decompose","graph":"g","k":3,"sweep_mode":"window"}'
+} | "$bin" --serve > "$sm_out"
+check "--serve sweep_mode session, EOF exit" 0 $?
+sm_line() { sed -n "${1}p" "$sm_out"; }
+case "$(sm_line 2)" in
+  *'"status":"ok"'*) echo "ok: serve sweep_mode adaptive" ;;
+  *) echo "FAIL: serve sweep_mode adaptive: $(sm_line 2)" >&2; fails=$((fails + 1)) ;;
+esac
+case "$(sm_line 3)" in
+  *'"status":"bad_request"'*) echo "ok: serve sweep_mode bogus rejected in-band" ;;
+  *) echo "FAIL: serve sweep_mode bogus: $(sm_line 3)" >&2; fails=$((fails + 1)) ;;
+esac
+case "$(sm_line 4)" in
+  *'"status":"ok"'*) echo "ok: serve sweep_mode window (session survived)" ;;
+  *) echo "FAIL: serve sweep_mode window: $(sm_line 4)" >&2; fails=$((fails + 1)) ;;
+esac
+
+# 18. trace_replay strict argument parsing: malformed numeric flags are
+#     bad usage (exit 2) and never silently run with a default value —
+#     historically `--zipf garbage` ran a uniform-popularity benchmark via
+#     atof's silent 0.0.  A degenerate Zipf fleet (no graphs) also exits 2.
+if [ -n "$replay" ]; then
+  "$replay" "$tmp/replay.json" --zipf garbage 2> /dev/null
+  check "trace_replay --zipf garbage" 2 $?
+  "$replay" "$tmp/replay.json" --zipf -1 2> /dev/null
+  check "trace_replay --zipf -1" 2 $?
+  "$replay" "$tmp/replay.json" --requests 10x 2> /dev/null
+  check "trace_replay --requests 10x" 2 $?
+  "$replay" "$tmp/replay.json" --graphs 0 2> /dev/null
+  check "trace_replay --graphs 0" 2 $?
+  "$replay" "$tmp/replay.json" --seed banana 2> /dev/null
+  check "trace_replay --seed banana" 2 $?
+  [ -e "$tmp/replay.json" ] && {
+    echo "FAIL: malformed trace_replay args wrote output" >&2
+    fails=$((fails + 1))
+  }
+fi
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2

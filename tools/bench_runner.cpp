@@ -36,8 +36,18 @@
 // with the process peak-RSS (util/rss.hpp) — the first bytes/edge and
 // peak-memory trajectory of the compact CSR layout.
 //
-// Usage: bench_runner [output.json] [--label name] [--e12 | --e12-smoke]
+// PR 10 adds the E13 sweep-quality suite (--e13 / --e13-smoke): quality
+// (not runtime) rows across the workload matrix where the prefix rule
+// matters — triangulated meshes, the weighted climate instance, heavy-
+// tailed meshes, anisotropic and 3-D geometric graphs, and a METIS-file
+// round trip — in modes "default" / "window" / "adaptive" (SweepMode)
+// plus an "orb" baseline column (orthogonal recursive coordinate
+// bisection, the classical mesh-library default).
+//
+// Usage: bench_runner [output.json] [--label name]
+//                     [--e12 | --e12-smoke | --e13 | --e13-smoke]
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -46,8 +56,10 @@
 #include <vector>
 
 #include "baselines/random_part.hpp"
+#include "baselines/recursive_bisection.hpp"
 #include "core/decompose.hpp"
 #include "core/refine.hpp"
+#include "gen/geometric.hpp"
 #include "gen/grid.hpp"
 #include "gen/mesh.hpp"
 #include "io/metis_io.hpp"
@@ -445,12 +457,134 @@ void bench_e12(bool smoke) {
   bench_e12_grid("grid3200", 3200, 16, 1);  // 10,240,000 vertices
 }
 
+// ---- E13: the sweep-quality suite (PR 10) ----------------------------------
+// Quality rows (max_boundary is the headline number; ms is informational)
+// across workloads where the choice of prefix rule actually matters.
+// Modes per instance:
+//   * "default"  — SweepMode::BetterOfTwo, the seed's crossing-prefix rule.
+//     These rows are their own seed references, so after the merge their
+//     max_boundary_vs_seed must be exactly 0.
+//   * "window"   — SweepMode::WindowMin (PR 4): cheapest in-window prefix.
+//     Strong on wide windows (heavy-tailed weights), can regress when the
+//     window is narrow — the behavior that motivated the adaptive policy.
+//   * "adaptive" — SweepMode::Adaptive (PR 10): takes the window pick only
+//     when it beats the crossing prefix by the margin; with the best-of-
+//     both race it is never worse than "default" on any instance.
+//   * "orb"      — orthogonal recursive coordinate bisection, the classical
+//     mesh-partitioner baseline column (requires coordinates, so the METIS
+//     round-trip row — which drops them — has no orb line).
+
+void bench_e13_instance(const char* config, const Graph& g,
+                        const std::vector<double>& w, int k, int reps) {
+  struct ModeSpec {
+    const char* name;
+    SweepMode mode;
+  };
+  constexpr ModeSpec kModes[] = {{"default", SweepMode::BetterOfTwo},
+                                 {"window", SweepMode::WindowMin},
+                                 {"adaptive", SweepMode::Adaptive}};
+  for (const ModeSpec& m : kModes) {
+    DecomposeOptions opt;
+    opt.k = k;
+    opt.sweep_mode = m.mode;
+    Row row{"e13_quality", config, 0, g.num_vertices(), k, m.name, 1e300, 0.0};
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      const DecomposeResult res = decompose(g, w, opt);
+      row.ms = std::min(row.ms, t.seconds() * 1e3);
+      row.max_boundary = res.max_boundary;
+    }
+    push_row(row);
+  }
+  if (g.has_coords()) {
+    Row row{"e13_quality", config, 0, g.num_vertices(), k, "orb", 1e300, 0.0};
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      const Coloring chi = orthogonal_recursive_bisection(g, w, k);
+      row.ms = std::min(row.ms, t.seconds() * 1e3);
+      row.max_boundary = max_boundary_cost(g, chi);
+    }
+    push_row(row);
+  }
+}
+
+void bench_e13(bool smoke) {
+  const int reps = smoke ? 1 : 2;
+
+  // Unit-weight triangulated mesh: the narrow-window regime (window admits
+  // at most the crossing prefixes), so adaptive must cost nothing here.
+  {
+    const int side = smoke ? 48 : 96;
+    const Graph g = make_tri_mesh(side, side);
+    const std::vector<double> w(static_cast<std::size_t>(g.num_vertices()),
+                                1.0);
+    bench_e13_instance("tri-mesh", g, w, 16, reps);
+  }
+
+  // The paper's climate workload: smooth insolation weights with storm
+  // hot-spots — a genuinely weighted planar mesh.
+  {
+    ClimateParams params;
+    params.rows = smoke ? 32 : 64;
+    params.cols = smoke ? 64 : 128;
+    const ClimateInstance inst = make_climate_instance(params);
+    bench_e13_instance("climate", inst.graph, inst.weights, 16, reps);
+  }
+
+  // Heavy-tailed weights on a triangulated mesh: the wide-window regime
+  // where the window rule has real candidates to choose from.
+  {
+    const int side = smoke ? 40 : 64;
+    const Graph g = make_tri_mesh(side, side);
+    bench_e13_instance("tri-heavy8", g,
+                       heavy_weights(g.num_vertices(), 8.0, 271), 16, reps);
+  }
+
+  // Anisotropic geometric graph (8:1 slab): direction-dependent cuts where
+  // a single crossing prefix per axis order misjudges.
+  {
+    const int n = smoke ? 6000 : 20000;
+    const double radius = std::sqrt(10.0 * (1.0 / 8.0) / (3.14159265358979 * n));
+    const Graph g = make_aniso_geometric(n, radius, 8.0);
+    bench_e13_instance("aniso8", g, heavy_weights(g.num_vertices(), 4.0, 997),
+                       16, reps);
+  }
+
+  // 3-D geometric graph: exercises the d = 3 per-axis sweep path.
+  {
+    const int n = smoke ? 4000 : 12000;
+    const double radius =
+        std::cbrt(10.0 * 3.0 / (4.0 * 3.14159265358979 * n));
+    const Graph g = make_random_geometric3(n, radius);
+    bench_e13_instance("geo3", g, heavy_weights(g.num_vertices(), 6.0, 613),
+                       16, reps);
+  }
+
+  // METIS-file round trip: the climate instance written through the real
+  // writer and re-read through the streaming reader (coordinates do not
+  // survive the format, so this row also pins the no-coordinate path).
+  {
+    const char* path = "mmd_e13_metis.graph.tmp";
+    ClimateParams params;
+    params.rows = smoke ? 32 : 64;
+    params.cols = smoke ? 64 : 128;
+    params.seed = 23;
+    {
+      const ClimateInstance inst = make_climate_instance(params);
+      write_metis_file(inst.graph, inst.weights, path);
+    }
+    const GraphWithWeights back = read_metis_file(path);
+    std::remove(path);
+    bench_e13_instance("climate-metis", back.graph, back.weights, 16, reps);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out_path = "bench_out.json";
   const char* label = "current";
-  bool e12 = false, e12_smoke = false;
+  bool e12 = false, e12_smoke = false, e13 = false, e13_smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
@@ -458,6 +592,10 @@ int main(int argc, char** argv) {
       e12 = true;
     } else if (std::strcmp(argv[i], "--e12-smoke") == 0) {
       e12_smoke = true;
+    } else if (std::strcmp(argv[i], "--e13") == 0) {
+      e13 = true;
+    } else if (std::strcmp(argv[i], "--e13-smoke") == 0) {
+      e13_smoke = true;
     } else {
       out_path = argv[i];
     }
@@ -465,6 +603,8 @@ int main(int argc, char** argv) {
 
   if (e12 || e12_smoke) {
     bench_e12(e12_smoke);
+  } else if (e13 || e13_smoke) {
+    bench_e13(e13_smoke);
   } else {
     for (const int side : {16, 32, 64, 128, 256}) bench_decompose("n-sweep", side, 16);
     for (const int k : {2, 8, 32, 128}) bench_decompose("k-sweep", 96, k);

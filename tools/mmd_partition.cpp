@@ -79,7 +79,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s -k <parts> [-p <norm>] [-o <out>] [--fast]\n"
                "       [--splitter auto|prefix|grid] [--init best|paper|bisection]\n"
-               "       [--window-scan] [--threads <n>] [--fork-depth <d>]\n"
+               "       [--window-scan] [--sweep-mode default|window|adaptive]\n"
+               "       [--threads <n>] [--fork-depth <d>]\n"
                "       [--timeout-ms <ms>] [--image <ppm>]\n"
                "       [--repartition <deltas-file>]\n"
                "       [--compare] [--quiet] [--verify] [--mem-stats] "
@@ -128,6 +129,13 @@ bool request_from_json(const mmd::jsonl::Object& obj, mmd::ServiceRequest& req,
   req.options.fork_depth =
       static_cast<int>(get_number(obj, "fork_depth", 0, error));
   req.options.window_scan = get_bool(obj, "window_scan", false, error);
+  const std::string sweep = get_string(obj, "sweep_mode", "default", error);
+  if (sweep == "default") req.options.sweep_mode = mmd::SweepMode::BetterOfTwo;
+  else if (sweep == "window") req.options.sweep_mode = mmd::SweepMode::WindowMin;
+  else if (sweep == "adaptive") req.options.sweep_mode = mmd::SweepMode::Adaptive;
+  else if (error.empty())
+    error = "field 'sweep_mode' must be \"default\", \"window\", or "
+            "\"adaptive\"";
   req.timeout_ms = static_cast<long>(get_number(obj, "timeout_ms", -1, error));
 
   const std::string splitter = get_string(obj, "splitter", "auto", error);
@@ -365,6 +373,7 @@ int main(int argc, char** argv) {
   bool fast = false, compare = false, quiet = false, verify = false;
   bool mem_stats = false;
   bool window_scan = false;
+  SweepMode sweep_mode = SweepMode::BetterOfTwo;
   int threads = 1;
   int fork_depth = 0;  // 0 = derive the lane-tree depth from the pool
   long timeout_ms = -1;  // < 0 = unlimited
@@ -398,7 +407,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--repartition") {
       repartition_file = next();
     } else if (arg == "--window-scan") {
-      window_scan = true;  // min-cost in-window prefixes (SweepMode)
+      window_scan = true;  // legacy alias for --sweep-mode window
+    } else if (arg == "--sweep-mode") {
+      const std::string name = next();
+      if (name == "default") sweep_mode = SweepMode::BetterOfTwo;
+      else if (name == "window") sweep_mode = SweepMode::WindowMin;
+      else if (name == "adaptive") sweep_mode = SweepMode::Adaptive;
+      else usage(argv[0]);
     } else if (arg == "--threads") {
       threads = std::atoi(next());
       if (threads < 1) usage(argv[0]);
@@ -463,6 +478,7 @@ int main(int argc, char** argv) {
       opt.inner.splitter = splitter;
       opt.inner.init = init;
       opt.inner.window_scan = window_scan;
+      opt.inner.sweep_mode = sweep_mode;
       opt.inner.num_threads = threads;
       opt.inner.fork_depth = fork_depth;
       opt.inner.exec = exec;
@@ -492,6 +508,7 @@ int main(int argc, char** argv) {
       opt.splitter = splitter;
       opt.init = init;
       opt.window_scan = window_scan;
+      opt.sweep_mode = sweep_mode;
       opt.num_threads = threads;
       opt.fork_depth = fork_depth;
       opt.exec = exec;

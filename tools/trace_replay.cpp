@@ -54,6 +54,7 @@
 #include "core/fast.hpp"
 #include "core/verify.hpp"
 #include "gen/grid.hpp"
+#include "io/strict_parse.hpp"
 #include "service/jsonl.hpp"
 #include "service/partition_service.hpp"
 #include "util/latency.hpp"
@@ -378,6 +379,44 @@ int main(int argc, char** argv) {
 
   bool saw_out = false;
   bool saw_label = false;
+  // Strict numeric argument parsing (io/strict_parse.hpp, the METIS
+  // reader's hardened path): a malformed value is bad usage (exit 2),
+  // never a silently adopted 0 — `--zipf garbage` used to atof() to
+  // alpha = 0.0 and replay a uniform trace without a word.
+  auto parse_int_arg = [&](const char* tok, const char* what) -> int {
+    try {
+      return parse_i32(tok, 0, what);
+    } catch (const ParseError&) {
+      std::fprintf(stderr, "error: malformed %s '%s'\n", what, tok);
+      usage(argv[0]);
+    }
+  };
+  auto parse_long_arg = [&](const char* tok, const char* what) -> long {
+    try {
+      return static_cast<long>(parse_ll(tok, 0, what));
+    } catch (const ParseError&) {
+      std::fprintf(stderr, "error: malformed %s '%s'\n", what, tok);
+      usage(argv[0]);
+    }
+  };
+  auto parse_double_arg = [&](const char* tok, const char* what) -> double {
+    try {
+      return parse_finite_double(tok, 0, what);
+    } catch (const ParseError&) {
+      std::fprintf(stderr, "error: malformed %s '%s'\n", what, tok);
+      usage(argv[0]);
+    }
+  };
+  auto parse_seed_arg = [&](const char* tok) -> std::uint64_t {
+    errno = 0;  // strtoull with base 0 keeps hex seeds working
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok, &end, 0);
+    if (end == tok || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "error: malformed --seed '%s'\n", tok);
+      usage(argv[0]);
+    }
+    return v;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -385,15 +424,15 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--label") { label = next(); saw_label = true; }
-    else if (arg == "--requests") num_requests = std::atoi(next());
-    else if (arg == "--clients") num_clients = std::atoi(next());
-    else if (arg == "--graphs") num_graphs = std::atoi(next());
-    else if (arg == "--workers") num_workers = std::atoi(next());
-    else if (arg == "--budget-kb") budget_kb = std::atol(next());
-    else if (arg == "--zipf") zipf_alpha = std::atof(next());
-    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--requests") num_requests = parse_int_arg(next(), "--requests");
+    else if (arg == "--clients") num_clients = parse_int_arg(next(), "--clients");
+    else if (arg == "--graphs") num_graphs = parse_int_arg(next(), "--graphs");
+    else if (arg == "--workers") num_workers = parse_int_arg(next(), "--workers");
+    else if (arg == "--budget-kb") budget_kb = parse_long_arg(next(), "--budget-kb");
+    else if (arg == "--zipf") zipf_alpha = parse_double_arg(next(), "--zipf");
+    else if (arg == "--seed") seed = parse_seed_arg(next());
     else if (arg == "--drift") drift = true;
-    else if (arg == "--steps") steps = std::atoi(next());
+    else if (arg == "--steps") steps = parse_int_arg(next(), "--steps");
     else if (arg[0] == '-') usage(argv[0]);
     else if (!saw_out) { out_path = arg; saw_out = true; }
     else usage(argv[0]);
@@ -401,6 +440,13 @@ int main(int argc, char** argv) {
   if (num_requests < 1 || num_clients < 1 || num_graphs < 1 ||
       num_workers < 1 || budget_kb < 0 || steps < 1)
     usage(argv[0]);
+  if (zipf_alpha < 0.0 || zipf_alpha > 64.0) {
+    // Negative alpha inverts the popularity ranking (and overflows pow for
+    // large fleets); absurdly large alpha degenerates every draw to graph
+    // 0 through rounding.  Both are certainly typos — reject them.
+    std::fprintf(stderr, "error: --zipf alpha must lie in [0, 64]\n");
+    usage(argv[0]);
+  }
 
   if (drift) {
     if (!saw_out) out_path = "BENCH_PR8.json";
@@ -447,11 +493,25 @@ int main(int argc, char** argv) {
     double total = 0.0;
     for (std::size_t i = 0; i < fleet.size(); ++i)
       total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_alpha);
+    // An empty fleet or a non-positive/non-finite mass means the draw
+    // below is meaningless; the final back() = 1.0 snap used to paper
+    // over exactly this (a degenerate distribution replayed as "all
+    // requests hit the last graph" without a word).
+    if (fleet.empty() || !std::isfinite(total) || total <= 0.0) {
+      std::fprintf(stderr,
+                   "error: degenerate zipf distribution (graphs=%d, "
+                   "alpha=%g)\n",
+                   num_graphs, zipf_alpha);
+      return 2;
+    }
     double acc = 0.0;
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       acc += 1.0 / std::pow(static_cast<double>(i + 1), zipf_alpha) / total;
       zipf_cdf[i] = acc;
     }
+    // Guard the top bucket against accumulated rounding only — by here the
+    // mass is certified finite and positive, so this is a snap of an
+    // 1 - 1e-16 tail, not a mask for a degenerate distribution.
     zipf_cdf.back() = 1.0;
   }
 
